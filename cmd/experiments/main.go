@@ -1,0 +1,153 @@
+// Command experiments regenerates the figures and tables of "Multi-GPU
+// System Design with Memory Networks" (MICRO 2014).
+//
+// Usage:
+//
+//	experiments -exp all            # every experiment (slow)
+//	experiments -exp fig14 -scale 0.5
+//	experiments -exp fig19 -gpus 1,2,4,8,16
+//	experiments -exp fig10,fig12
+//
+// Known experiments: fig7 fig10 fig12 fig14 fig15 fig16 fig17 fig18 fig19
+// ctasched table2.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"memnet/internal/exp"
+)
+
+func main() {
+	which := flag.String("exp", "all", "comma-separated experiments to run (fig7,...,fig19,ctasched,placement,table2,all)")
+	scale := flag.Float64("scale", 0.25, "workload scale (1.0 = default simulation size)")
+	gpus := flag.String("gpus", "1,2,4,8,16", "GPU counts for fig19")
+	workloads := flag.String("workloads", "", "comma-separated workload subset (default: per-figure set)")
+	flag.Parse()
+
+	var wls []string
+	if *workloads != "" {
+		wls = strings.Split(*workloads, ",")
+	}
+	var gpuCounts []int
+	for _, s := range strings.Split(*gpus, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			fatal(err)
+		}
+		gpuCounts = append(gpuCounts, n)
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*which, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	ran := 0
+
+	if all || want["table2"] {
+		fmt.Println(exp.TableII())
+		ran++
+	}
+	if all || want["fig7"] {
+		r, err := exp.Fig7(*scale)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(r)
+		ran++
+	}
+	if all || want["fig10"] {
+		rs, err := exp.Fig10(*scale)
+		if err != nil {
+			fatal(err)
+		}
+		for _, r := range rs {
+			fmt.Println(r)
+		}
+		ran++
+	}
+	if all || want["fig12"] {
+		rows, err := exp.Fig12()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(exp.Fig12String(rows))
+		ran++
+	}
+	if all || want["fig14"] {
+		r, err := exp.Fig14(*scale, wls)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(r)
+		ran++
+	}
+	if all || want["fig15"] {
+		rows, err := exp.Fig15(*scale)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(exp.Fig15String(rows))
+		ran++
+	}
+	if all || want["fig16"] || want["fig17"] {
+		sel := wls
+		if len(sel) == 0 {
+			sel = []string{"BP", "KMN", "BFS", "SRAD", "FWT", "CP"}
+		}
+		rows, err := exp.Fig16(*scale, sel)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(exp.TopoRowsString(rows))
+		perf := exp.GeomeanBy(rows, "sMESH", "sFBFLY", func(r exp.TopoRow) float64 { return float64(r.Kernel) })
+		en := exp.GeomeanBy(rows, "sMESH", "sFBFLY", func(r exp.TopoRow) float64 { return r.EnergyJ })
+		fmt.Printf("sFBFLY vs sMESH: %.2fx faster, %.1f%% network energy saved (geomean)\n\n", perf, 100*(1-1/en))
+		ran++
+	}
+	if all || want["fig18"] {
+		rows, err := exp.Fig18(*scale)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(exp.Fig18String(rows))
+		ran++
+	}
+	if all || want["fig19"] {
+		rows, gm, err := exp.Fig19(*scale, gpuCounts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(exp.Fig19String(rows, gm))
+		ran++
+	}
+	if all || want["placement"] {
+		rows, err := exp.Placement(*scale, wls)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(exp.PlacementString(rows))
+		ran++
+	}
+	if all || want["ctasched"] {
+		rows, err := exp.CTASched(*scale, wls)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(exp.SchedString(rows))
+		ran++
+	}
+	if ran == 0 {
+		fatal(fmt.Errorf("unknown experiment %q", *which))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,112 @@
+// Command memnetsim runs one multi-GPU simulation and prints its runtime
+// breakdown and statistics.
+//
+// Usage:
+//
+//	memnetsim -arch UMN -workload BFS -scale 0.5
+//	memnetsim -arch GMN -topo sMESH -gpus 8 -sched round-robin
+//	memnetsim -arch UMN -workload CG.S -overlay -traffic
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"memnet"
+	"memnet/internal/core"
+	"memnet/internal/ske"
+	"memnet/internal/workload"
+)
+
+func main() {
+	arch := flag.String("arch", "UMN", "architecture: PCIe PCIe-ZC CMN CMN-ZC GMN GMN-ZC UMN")
+	wl := flag.String("workload", "VA", fmt.Sprintf("workload: %v", memnet.Workloads()))
+	scale := flag.Float64("scale", 0.25, "input scale (1.0 = default simulation size)")
+	gpus := flag.Int("gpus", 4, "number of GPUs")
+	topo := flag.String("topo", "sFBFLY", "memory-network topology (GMN/UMN): sFBFLY dFBFLY dDFLY sMESH sTORUS")
+	mult := flag.Int("mult", 1, "channel multiplier (2 = the -2x variants)")
+	overlay := flag.Bool("overlay", false, "UMN CPU pass-through overlay")
+	ugal := flag.Bool("ugal", false, "UGAL adaptive injection routing")
+	adaptive := flag.Bool("adaptive", false, "adaptive minimal-port selection")
+	sched := flag.String("sched", "static-chunk", "CTA assignment: static-chunk round-robin static+steal")
+	seed := flag.Int64("seed", 1, "placement seed")
+	traffic := flag.Bool("traffic", false, "print the GPU-to-HMC traffic matrix")
+	jsonOut := flag.Bool("json", false, "emit the full result as JSON")
+	traceFile := flag.String("trace", "", "replay a kernel trace file instead of a built-in workload")
+	flag.Parse()
+
+	a, err := memnet.ParseArch(*arch)
+	check(err)
+	tk, err := memnet.ParseTopo(*topo)
+	check(err)
+	pol, err := ske.ParsePolicy(*sched)
+	check(err)
+
+	cfg := core.DefaultConfig(a, *wl)
+	cfg.Scale = *scale
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		check(err)
+		tk, err := workload.ReadTrace(f)
+		f.Close()
+		check(err)
+		cfg.Custom = workload.FromTrace(tk)
+	}
+	cfg.NumGPUs = *gpus
+	cfg.Topo = tk
+	cfg.TopoMultiplier = *mult
+	cfg.Overlay = *overlay
+	cfg.UGAL = *ugal
+	cfg.Adaptive = *adaptive
+	cfg.Sched = pol
+	cfg.Seed = *seed
+
+	res, err := core.Run(cfg)
+	check(err)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		check(enc.Encode(res))
+		return
+	}
+
+	us := func(t memnet.Time) float64 { return float64(t) / 1e6 }
+	fmt.Printf("workload %s on %s (%d GPUs, %s, sched %s)\n",
+		res.Workload, res.Arch, res.NumGPUs, res.Topo, pol)
+	fmt.Printf("  H2D memcpy   %10.1f us\n", us(res.H2D))
+	fmt.Printf("  kernel       %10.1f us\n", us(res.Kernel))
+	fmt.Printf("  host compute %10.1f us\n", us(res.Host))
+	fmt.Printf("  D2H memcpy   %10.1f us\n", us(res.D2H))
+	fmt.Printf("  total        %10.1f us\n", us(res.Total))
+	fmt.Printf("network: %d bidirectional channels, avg packet latency %.1f ns, avg hops %.2f",
+		res.RouterChannels, float64(res.AvgPktLatency)/1e3, res.AvgHops)
+	if res.AvgPassHops > 0 {
+		fmt.Printf(" (pass-through %.2f)", res.AvgPassHops)
+	}
+	fmt.Println()
+	fmt.Printf("energy: %.2f uJ network (%.2f active + %.2f idle)\n",
+		res.NetEnergyJ*1e6, res.NetActiveJ*1e6, res.NetIdleJ*1e6)
+	fmt.Printf("caches: L1 %.1f%%, L2 %.1f%% hit; DRAM row hits %.1f%%\n",
+		100*res.L1HitRate, 100*res.L2HitRate, 100*res.RowHitRate)
+	fmt.Printf("GPU memory latency %.1f ns; host memory latency %.1f ns\n",
+		float64(res.GPUMemLatency)/1e3, float64(res.HostMemLat)/1e3)
+	fmt.Printf("CTAs per GPU: %v", res.CTAsPerGPU)
+	if res.CTAsStolen > 0 {
+		fmt.Printf(" (%d stolen)", res.CTAsStolen)
+	}
+	fmt.Println()
+	if *traffic {
+		fmt.Println("traffic matrix (terminal x HMC, flits):")
+		fmt.Print(res.Traffic)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memnetsim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,93 @@
+// Command nocload runs standalone synthetic-traffic load sweeps over the
+// memory-network topologies (the BookSim-style characterization behind the
+// Section V topology discussion): round-trip latency and accepted
+// throughput versus offered load.
+//
+// Usage:
+//
+//	nocload -topos sFBFLY,sMESH,sTORUS -pattern uniform -rates 0.05,0.1,...
+//	nocload -topos sFBFLY -pattern hotspot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"memnet/internal/noc"
+)
+
+func main() {
+	topos := flag.String("topos", "sFBFLY,sMESH,sTORUS", "topologies to sweep")
+	clusters := flag.Int("clusters", 4, "endpoint clusters")
+	pattern := flag.String("pattern", "uniform", "traffic: uniform, permutation, hotspot")
+	rates := flag.String("rates", "0.05,0.1,0.2,0.3,0.4,0.5,0.6", "offered loads (flits/terminal/cycle)")
+	respFlits := flag.Int("resp", 9, "response flits (9 = 128B line)")
+	saturate := flag.Bool("saturate", false, "report each topology's saturation rate instead of a sweep")
+	flag.Parse()
+
+	syn := noc.DefaultSyntheticConfig()
+	syn.RespFlits = *respFlits
+	switch *pattern {
+	case "uniform":
+		syn.Pattern = noc.UniformRandom
+	case "permutation":
+		syn.Pattern = noc.Permutation
+	case "hotspot":
+		syn.Pattern = noc.HotSpot
+	default:
+		fail(fmt.Errorf("unknown pattern %q", *pattern))
+	}
+
+	var loads []float64
+	for _, s := range strings.Split(*rates, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			fail(err)
+		}
+		loads = append(loads, v)
+	}
+
+	if *saturate {
+		fmt.Printf("%-8s %12s\n", "topo", "saturation")
+		for _, name := range strings.Split(*topos, ",") {
+			kind, err := noc.ParseTopo(strings.TrimSpace(name))
+			if err != nil {
+				fail(err)
+			}
+			spec := noc.TopoSpec{Kind: kind, Clusters: *clusters, LocalPerCluster: 4,
+				TermChannels: 8, CPUCluster: -1}
+			rate, err := noc.SaturationRate(spec, noc.DefaultConfig(), syn, 150)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("%-8s %11.2f\n", name, rate)
+		}
+		return
+	}
+
+	fmt.Printf("%-8s %8s %12s %12s %8s\n", "topo", "load", "rtt(cyc)", "accepted", "hops")
+	for _, name := range strings.Split(*topos, ",") {
+		kind, err := noc.ParseTopo(strings.TrimSpace(name))
+		if err != nil {
+			fail(err)
+		}
+		spec := noc.TopoSpec{Kind: kind, Clusters: *clusters, LocalPerCluster: 4,
+			TermChannels: 8, CPUCluster: -1}
+		pts, err := noc.LoadSweep(spec, noc.DefaultConfig(), syn, loads)
+		if err != nil {
+			fail(err)
+		}
+		for _, p := range pts {
+			fmt.Printf("%-8s %8.2f %12.1f %12.3f %8.2f\n",
+				name, p.InjectionRate, p.AvgLatency, p.Throughput, p.AvgHops)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "nocload:", err)
+	os.Exit(1)
+}

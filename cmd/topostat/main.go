@@ -1,0 +1,55 @@
+// Command topostat prints static metrics of the memory-network topologies:
+// bidirectional channel counts (the Fig. 12 comparison), router degrees,
+// and average minimal hop counts.
+//
+// Usage:
+//
+//	topostat -gpus 4,8,16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"memnet/internal/noc"
+	"memnet/internal/sim"
+)
+
+func main() {
+	gpus := flag.String("gpus", "4,8,16", "cluster counts to evaluate")
+	local := flag.Int("local", 4, "HMCs per cluster")
+	flag.Parse()
+
+	kinds := []noc.TopoKind{noc.TopoSFBFLY, noc.TopoDFBFLY, noc.TopoDDFLY,
+		noc.TopoSMESH, noc.TopoSTORUS, noc.TopoRing}
+
+	fmt.Printf("%6s %-8s %10s %10s %10s\n", "GPUs", "topo", "channels", "meanHops", "maxDegree")
+	for _, s := range strings.Split(*gpus, ",") {
+		g, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "topostat:", err)
+			os.Exit(1)
+		}
+		for _, k := range kinds {
+			b, err := noc.BuildTopology(sim.NewEngine(), noc.DefaultConfig(), noc.TopoSpec{
+				Kind: k, Clusters: g, LocalPerCluster: *local,
+				TermChannels: 2 * *local, CPUCluster: -1,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "topostat:", err)
+				os.Exit(1)
+			}
+			deg := 0
+			for r := 0; r < b.Net.NumRouters(); r++ {
+				if d := b.Net.Router(r).Degree(); d > deg {
+					deg = d
+				}
+			}
+			fmt.Printf("%6d %-8s %10d %10.2f %10d\n",
+				g, k, b.BidirRouterChannels(), b.Net.MeanMinHops(), deg)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+// Command tracedump captures a built-in workload's generated kernel into
+// the memnet text trace format (see internal/workload/trace.go), for
+// archival, external analysis, or replay via `memnetsim -trace`.
+//
+// Usage:
+//
+//	tracedump -workload SRAD -scale 0.25 > srad.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"memnet"
+	"memnet/internal/core"
+	"memnet/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "VA", fmt.Sprintf("workload: %v", memnet.Workloads()))
+	scale := flag.Float64("scale", 0.25, "input scale")
+	flag.Parse()
+
+	// Build a system to obtain a buffer binding, then capture the traces.
+	cfg := core.DefaultConfig(core.UMN, *wl)
+	cfg.Scale = *scale
+	s, err := core.NewSystem(cfg)
+	if err != nil {
+		fail(err)
+	}
+	if err := workload.WriteTrace(os.Stdout, s.Workload(), s.Binding()); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tracedump:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,57 @@
+package memnet_test
+
+import (
+	"fmt"
+
+	"memnet"
+)
+
+// ExampleRun simulates vectorAdd on the unified memory network. The
+// simulator is deterministic, so the output is stable.
+func ExampleRun() {
+	cfg := memnet.DefaultConfig(memnet.UMN, "VA")
+	cfg.Scale = 0.05
+	res, err := memnet.Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s on %s: no memcpy needed: %v\n", res.Workload, res.Arch, res.H2D+res.D2H == 0)
+	fmt.Printf("kernel finished: %v\n", res.Kernel > 0)
+	// Output:
+	// VA on UMN: no memcpy needed: true
+	// kernel finished: true
+}
+
+// ExampleFig12 prints the sliced-flattened-butterfly channel savings
+// (Fig. 12 of the paper).
+func ExampleFig12() {
+	rows, err := memnet.Fig12()
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range rows {
+		if r.GPUs == 4 || r.GPUs == 8 {
+			fmt.Printf("%d GPUs: dFBFLY %d vs sFBFLY %d channels (%.0f%% saved)\n",
+				r.GPUs, r.DFBFLY, r.SFBFLY, 100*r.Reduction)
+		}
+	}
+	// Output:
+	// 4 GPUs: dFBFLY 48 vs sFBFLY 24 channels (50% saved)
+	// 8 GPUs: dFBFLY 112 vs sFBFLY 64 channels (43% saved)
+}
+
+// ExampleDefaultConfig shows how to customize a run: a GPU memory network
+// with a sliced-torus topology and round-robin CTA scheduling.
+func ExampleDefaultConfig() {
+	cfg := memnet.DefaultConfig(memnet.GMN, "BFS")
+	cfg.Scale = 0.05
+	cfg.Topo = memnet.TopoSTORUS
+	cfg.Sched = memnet.RoundRobin
+	res, err := memnet.Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s over %s: ran on %d GPUs\n", res.Workload, res.Topo, len(res.CTAsPerGPU))
+	// Output:
+	// BFS over sTORUS: ran on 4 GPUs
+}

@@ -1,0 +1,36 @@
+// Quickstart: run vectorAdd on the conventional PCIe multi-GPU system and
+// on the proposed unified memory network (UMN), and compare the runtime
+// breakdowns — the headline comparison of the paper (Fig. 14).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"memnet"
+)
+
+func main() {
+	const workload = "VA" // vectorAdd; see memnet.Workloads() for all
+	const scale = 0.25    // fraction of the default simulation input size
+
+	fmt.Printf("%-8s %10s %10s %10s %10s\n", "arch", "memcpy", "kernel", "total", "speedup")
+	var baseline memnet.Time
+	for _, arch := range []memnet.Arch{memnet.PCIe, memnet.GMN, memnet.UMN} {
+		cfg := memnet.DefaultConfig(arch, workload)
+		cfg.Scale = scale
+		res, err := memnet.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if baseline == 0 {
+			baseline = res.Total
+		}
+		us := func(t memnet.Time) float64 { return float64(t) / 1e6 }
+		fmt.Printf("%-8s %9.1fu %9.1fu %9.1fu %9.2fx\n",
+			res.Arch, us(res.H2D+res.D2H), us(res.Kernel), us(res.Total),
+			float64(baseline)/float64(res.Total))
+	}
+	fmt.Println("\nThe UMN removes the memcpy entirely and serves remote GPU memory")
+	fmt.Println("through the HMC network instead of PCIe peer transfers.")
+}

@@ -1,0 +1,40 @@
+// Scheduler comparison: reproduce the Section III-B study of CTA
+// assignment policies in the SKE runtime — static chunked assignment
+// (the paper's choice), fine-grained round-robin, and static assignment
+// with dynamic CTA stealing.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"memnet"
+)
+
+func main() {
+	fmt.Printf("%-8s %-14s %10s %8s %8s %8s\n", "wl", "policy", "kernel", "L1 hit", "L2 hit", "stolen")
+	for _, wl := range []string{"SRAD", "BP", "KMN"} {
+		for _, p := range []struct {
+			name string
+			set  func(*memnet.Config)
+		}{
+			{"static-chunk", func(c *memnet.Config) { c.Sched = memnet.StaticChunk }},
+			{"round-robin", func(c *memnet.Config) { c.Sched = memnet.RoundRobin }},
+			{"static+steal", func(c *memnet.Config) { c.Sched = memnet.StaticSteal }},
+		} {
+			cfg := memnet.DefaultConfig(memnet.UMN, wl)
+			cfg.Scale = 0.25
+			p.set(&cfg)
+			res, err := memnet.Run(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-8s %-14s %9.1fu %7.1f%% %7.1f%% %8d\n",
+				wl, p.name, float64(res.Kernel)/1e6,
+				100*res.L1HitRate, 100*res.L2HitRate, res.CTAsStolen)
+		}
+	}
+	fmt.Println("\nAdjacent CTAs touch adjacent memory, so chunked assignment keeps")
+	fmt.Println("sharing on one GPU (higher cache hit rates); stealing helps only")
+	fmt.Println("when the static chunks are imbalanced (<1% in the paper).")
+}

@@ -1,0 +1,45 @@
+// Topology exploration: run one workload on a GPU memory network built
+// from each sliced topology of Section V (sMESH, sTORUS, their 2x-channel
+// variants, and the proposed sFBFLY) and report performance, network
+// energy and channel cost — the trade-off of Fig. 16 and Fig. 17.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"memnet"
+)
+
+func main() {
+	const workload = "BP" // the paper's most network-sensitive workload
+
+	type row struct {
+		name string
+		topo func(*memnet.Config)
+	}
+	rows := []row{
+		{"sMESH", func(c *memnet.Config) { c.Topo = memnet.TopoSMESH }},
+		{"sMESH-2x", func(c *memnet.Config) { c.Topo = memnet.TopoSMESH; c.TopoMultiplier = 2 }},
+		{"sTORUS", func(c *memnet.Config) { c.Topo = memnet.TopoSTORUS }},
+		{"sTORUS-2x", func(c *memnet.Config) { c.Topo = memnet.TopoSTORUS; c.TopoMultiplier = 2 }},
+		{"sFBFLY", func(c *memnet.Config) { c.Topo = memnet.TopoSFBFLY }},
+	}
+
+	fmt.Printf("running %s on 4GPU-16HMC GMN designs...\n\n", workload)
+	fmt.Printf("%-10s %10s %12s %10s %10s\n", "topology", "kernel", "energy(uJ)", "channels", "avg hops")
+	for _, r := range rows {
+		cfg := memnet.DefaultConfig(memnet.GMN, workload)
+		cfg.Scale = 0.25
+		r.topo(&cfg)
+		res, err := memnet.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %9.1fu %12.2f %10d %10.2f\n",
+			r.name, float64(res.Kernel)/1e6, res.NetEnergyJ*1e6,
+			res.RouterChannels, res.AvgHops)
+	}
+	fmt.Println("\nsFBFLY matches or beats the doubled-channel mesh/torus with fewer")
+	fmt.Println("channels by fully connecting each slice (1 hop between clusters).")
+}

@@ -1,0 +1,3 @@
+module memnet
+
+go 1.22

@@ -1,0 +1,252 @@
+// Package cache implements the set-associative cache model used for GPU L1
+// and L2 caches and the CPU cache hierarchy.
+//
+// Section III-D of the paper constrains the GPU caches under SKE: global
+// memory uses a write-through, write-no-allocate policy in both L1 and L2
+// (a write-back last-level cache would violate the relaxed consistency
+// model across GPUs), and atomic operations first evict the line, then
+// execute at the HMC logic layer. Both policies are supported here; the
+// write-back mode exists for the CPU hierarchy and for the ablation
+// benchmark of this design choice.
+package cache
+
+import (
+	"fmt"
+
+	"memnet/internal/mem"
+	"memnet/internal/stats"
+)
+
+// WritePolicy selects how writes interact with the cache.
+type WritePolicy int
+
+// Write policies.
+const (
+	// WriteThroughNoAllocate forwards every write to the next level and
+	// never allocates on a write miss (the SKE GPU policy).
+	WriteThroughNoAllocate WritePolicy = iota
+	// WriteBackAllocate marks lines dirty and writes back on eviction.
+	WriteBackAllocate
+)
+
+// Config sizes a cache.
+type Config struct {
+	SizeBytes int
+	LineBytes int
+	Ways      int
+	Policy    WritePolicy
+}
+
+// Stats counts cache events.
+type Stats struct {
+	ReadHits    stats.Counter
+	ReadMisses  stats.Counter
+	WriteHits   stats.Counter
+	WriteMisses stats.Counter
+	Evictions   stats.Counter
+	WriteBacks  stats.Counter
+	Invalidates stats.Counter
+}
+
+// HitRate returns hits / accesses over reads and writes.
+func (s *Stats) HitRate() float64 {
+	h := s.ReadHits.Value() + s.WriteHits.Value()
+	total := h + s.ReadMisses.Value() + s.WriteMisses.Value()
+	if total == 0 {
+		return 0
+	}
+	return float64(h) / float64(total)
+}
+
+// ReadHitRate returns read hits / reads.
+func (s *Stats) ReadHitRate() float64 {
+	h := s.ReadHits.Value()
+	total := h + s.ReadMisses.Value()
+	if total == 0 {
+		return 0
+	}
+	return float64(h) / float64(total)
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	used  uint64 // LRU timestamp
+}
+
+// Result describes the outcome of one access.
+type Result struct {
+	Hit bool
+	// Fill is true when the access allocates a line (read misses, and
+	// write misses under write-allocate).
+	Fill bool
+	// WriteBack holds the address of a dirty line evicted by this access;
+	// valid when HasWriteBack.
+	WriteBack    mem.Addr
+	HasWriteBack bool
+	// Forward is true when the access must also be sent to the next
+	// level (all misses; and every write under write-through).
+	Forward bool
+}
+
+// Cache is a single-level set-associative cache with LRU replacement.
+type Cache struct {
+	cfg      Config
+	sets     [][]line
+	setMask  uint64
+	lineBits uint
+	tick     uint64
+
+	Stats Stats
+}
+
+// New builds a cache; it returns an error on non-power-of-two geometry.
+func New(cfg Config) (*Cache, error) {
+	if cfg.SizeBytes <= 0 || cfg.LineBytes <= 0 || cfg.Ways <= 0 {
+		return nil, fmt.Errorf("cache: invalid config %+v", cfg)
+	}
+	lines := cfg.SizeBytes / cfg.LineBytes
+	if lines == 0 || lines%cfg.Ways != 0 {
+		return nil, fmt.Errorf("cache: %d lines not divisible into %d ways", lines, cfg.Ways)
+	}
+	nsets := lines / cfg.Ways
+	if nsets&(nsets-1) != 0 || cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		return nil, fmt.Errorf("cache: sets (%d) and line size (%d) must be powers of two", nsets, cfg.LineBytes)
+	}
+	c := &Cache{cfg: cfg, setMask: uint64(nsets - 1)}
+	for cfg.LineBytes>>c.lineBits > 1 {
+		c.lineBits++
+	}
+	c.sets = make([][]line, nsets)
+	backing := make([]line, nsets*cfg.Ways)
+	for i := range c.sets {
+		c.sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
+	}
+	return c, nil
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) index(addr mem.Addr) (set uint64, tag uint64) {
+	lineAddr := uint64(addr) >> c.lineBits
+	return lineAddr & c.setMask, lineAddr >> uint(popcount(c.setMask))
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// Access performs a read or write of the line containing addr.
+func (c *Cache) Access(addr mem.Addr, write bool) Result {
+	c.tick++
+	set, tag := c.index(addr)
+	lines := c.sets[set]
+	for i := range lines {
+		if lines[i].valid && lines[i].tag == tag {
+			lines[i].used = c.tick
+			if write {
+				c.Stats.WriteHits.Inc()
+				if c.cfg.Policy == WriteBackAllocate {
+					lines[i].dirty = true
+					return Result{Hit: true}
+				}
+				// Write-through: update the line, forward the write.
+				return Result{Hit: true, Forward: true}
+			}
+			c.Stats.ReadHits.Inc()
+			return Result{Hit: true}
+		}
+	}
+	// Miss.
+	if write {
+		c.Stats.WriteMisses.Inc()
+		if c.cfg.Policy == WriteThroughNoAllocate {
+			return Result{Forward: true}
+		}
+	} else {
+		c.Stats.ReadMisses.Inc()
+	}
+	res := Result{Forward: true, Fill: true}
+	victim := c.victim(lines)
+	if lines[victim].valid {
+		c.Stats.Evictions.Inc()
+		if lines[victim].dirty {
+			c.Stats.WriteBacks.Inc()
+			res.HasWriteBack = true
+			res.WriteBack = c.lineAddr(set, lines[victim].tag)
+		}
+	}
+	lines[victim] = line{tag: tag, valid: true, used: c.tick,
+		dirty: write && c.cfg.Policy == WriteBackAllocate}
+	return res
+}
+
+// Probe reports whether addr's line is resident, without changing state.
+func (c *Cache) Probe(addr mem.Addr) bool {
+	set, tag := c.index(addr)
+	for _, l := range c.sets[set] {
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate removes addr's line if present, returning a write-back address
+// for dirty victims. Atomic operations use this (Section III-D: "all atomic
+// operations that occur to a cache line in L1 or L2 first evicts the
+// line").
+func (c *Cache) Invalidate(addr mem.Addr) (wb mem.Addr, dirty bool) {
+	set, tag := c.index(addr)
+	lines := c.sets[set]
+	for i := range lines {
+		if lines[i].valid && lines[i].tag == tag {
+			c.Stats.Invalidates.Inc()
+			dirty = lines[i].dirty
+			if dirty {
+				wb = c.lineAddr(set, tag)
+			}
+			lines[i] = line{}
+			return wb, dirty
+		}
+	}
+	return 0, false
+}
+
+// Flush invalidates everything, returning dirty line addresses.
+func (c *Cache) Flush() []mem.Addr {
+	var dirty []mem.Addr
+	for s := range c.sets {
+		for i := range c.sets[s] {
+			l := &c.sets[s][i]
+			if l.valid && l.dirty {
+				dirty = append(dirty, c.lineAddr(uint64(s), l.tag))
+			}
+			*l = line{}
+		}
+	}
+	return dirty
+}
+
+func (c *Cache) lineAddr(set, tag uint64) mem.Addr {
+	return mem.Addr((tag<<uint(popcount(c.setMask)) | set) << c.lineBits)
+}
+
+func (c *Cache) victim(lines []line) int {
+	v, oldest := 0, ^uint64(0)
+	for i := range lines {
+		if !lines[i].valid {
+			return i
+		}
+		if lines[i].used < oldest {
+			v, oldest = i, lines[i].used
+		}
+	}
+	return v
+}

@@ -1,0 +1,209 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"memnet/internal/mem"
+)
+
+func newCache(t *testing.T, cfg Config) *Cache {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func gpuL1(t *testing.T) *Cache {
+	return newCache(t, Config{SizeBytes: 32 << 10, LineBytes: 128, Ways: 4, Policy: WriteThroughNoAllocate})
+}
+
+func TestReadMissThenHit(t *testing.T) {
+	c := gpuL1(t)
+	r := c.Access(0x1000, false)
+	if r.Hit || !r.Fill || !r.Forward {
+		t.Fatalf("first read = %+v, want miss+fill+forward", r)
+	}
+	r = c.Access(0x1000+64, false) // same 128B line
+	if !r.Hit || r.Forward {
+		t.Fatalf("second read = %+v, want hit", r)
+	}
+	if c.Stats.ReadHits.Value() != 1 || c.Stats.ReadMisses.Value() != 1 {
+		t.Fatal("read stats wrong")
+	}
+}
+
+func TestWriteThroughNoAllocate(t *testing.T) {
+	c := gpuL1(t)
+	// Write miss: forwarded, NOT allocated.
+	r := c.Access(0x2000, true)
+	if r.Hit || r.Fill || !r.Forward {
+		t.Fatalf("write miss = %+v, want forward only", r)
+	}
+	if c.Probe(0x2000) {
+		t.Fatal("write-no-allocate must not fill")
+	}
+	// Read fill, then write hit: updated in place but still forwarded.
+	c.Access(0x2000, false)
+	r = c.Access(0x2000, true)
+	if !r.Hit || !r.Forward {
+		t.Fatalf("write hit = %+v, want hit+forward (write-through)", r)
+	}
+	if c.Stats.WriteBacks.Value() != 0 {
+		t.Fatal("write-through cache must never write back")
+	}
+}
+
+func TestWriteBackAllocate(t *testing.T) {
+	c := newCache(t, Config{SizeBytes: 1 << 10, LineBytes: 64, Ways: 2, Policy: WriteBackAllocate})
+	r := c.Access(0x40, true)
+	if !r.Fill || !r.Forward {
+		t.Fatalf("write-allocate miss = %+v, want fill", r)
+	}
+	r = c.Access(0x40, true)
+	if !r.Hit || r.Forward {
+		t.Fatalf("write-back hit = %+v, want absorbed", r)
+	}
+	// Evict the dirty line by filling its set (8 sets: stride 64*8=512).
+	r1 := c.Access(0x40+512, false)
+	r2 := c.Access(mem.Addr(0x40+2*512), false)
+	if r1.HasWriteBack || !r2.HasWriteBack {
+		t.Fatalf("expected write-back on second conflicting fill: %+v %+v", r1, r2)
+	}
+	if r2.WriteBack != 0x40 {
+		t.Fatalf("write-back addr = %#x, want 0x40", uint64(r2.WriteBack))
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	c := newCache(t, Config{SizeBytes: 4 * 64, LineBytes: 64, Ways: 4, Policy: WriteThroughNoAllocate})
+	// One set, 4 ways. Fill A B C D, touch A, fill E: victim must be B.
+	addrs := []mem.Addr{0, 64 * 1, 64 * 2, 64 * 3}
+	_ = addrs
+	a, b, cc, d, e := mem.Addr(0), mem.Addr(1<<12), mem.Addr(2<<12), mem.Addr(3<<12), mem.Addr(4<<12)
+	for _, x := range []mem.Addr{a, b, cc, d} {
+		c.Access(x, false)
+	}
+	c.Access(a, false) // refresh A
+	c.Access(e, false) // evict LRU = B
+	if !c.Probe(a) || c.Probe(b) || !c.Probe(cc) || !c.Probe(d) || !c.Probe(e) {
+		t.Fatal("LRU victim selection wrong")
+	}
+}
+
+func TestInvalidateForAtomics(t *testing.T) {
+	c := gpuL1(t)
+	c.Access(0x3000, false)
+	if !c.Probe(0x3000) {
+		t.Fatal("fill failed")
+	}
+	wb, dirty := c.Invalidate(0x3000)
+	if dirty || wb != 0 {
+		t.Fatal("write-through line cannot be dirty")
+	}
+	if c.Probe(0x3000) {
+		t.Fatal("line still resident after invalidate")
+	}
+	if c.Stats.Invalidates.Value() != 1 {
+		t.Fatal("invalidate not counted")
+	}
+	// Invalidating a missing line is a no-op.
+	if _, d := c.Invalidate(0x9999000); d {
+		t.Fatal("missing line reported dirty")
+	}
+}
+
+func TestInvalidateDirtyReturnsWriteBack(t *testing.T) {
+	c := newCache(t, Config{SizeBytes: 1 << 10, LineBytes: 64, Ways: 2, Policy: WriteBackAllocate})
+	c.Access(0x80, true)
+	wb, dirty := c.Invalidate(0x80)
+	if !dirty || wb != 0x80 {
+		t.Fatalf("Invalidate = (%#x, %v), want (0x80, true)", uint64(wb), dirty)
+	}
+}
+
+func TestFlushReturnsDirtyLines(t *testing.T) {
+	c := newCache(t, Config{SizeBytes: 1 << 10, LineBytes: 64, Ways: 2, Policy: WriteBackAllocate})
+	c.Access(0x100, true)
+	c.Access(0x200, false)
+	dirty := c.Flush()
+	if len(dirty) != 1 || dirty[0] != 0x100 {
+		t.Fatalf("Flush dirty = %v, want [0x100]", dirty)
+	}
+	if c.Probe(0x100) || c.Probe(0x200) {
+		t.Fatal("lines survive flush")
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	c := gpuL1(t)
+	c.Access(0, false)
+	c.Access(0, false)
+	c.Access(0, false)
+	c.Access(0, false)
+	if hr := c.Stats.HitRate(); hr != 0.75 {
+		t.Fatalf("hit rate = %v, want 0.75", hr)
+	}
+	var empty Stats
+	if empty.HitRate() != 0 || empty.ReadHitRate() != 0 {
+		t.Fatal("empty stats must report 0")
+	}
+}
+
+func TestBadGeometryRejected(t *testing.T) {
+	bad := []Config{
+		{},
+		{SizeBytes: 1000, LineBytes: 128, Ways: 4},    // non-power-of-two sets
+		{SizeBytes: 1 << 10, LineBytes: 100, Ways: 4}, // line size
+		{SizeBytes: 256, LineBytes: 128, Ways: 4},     // fewer lines than ways
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestTable1Geometries(t *testing.T) {
+	// L1: 32KB 4-way 128B; L2: 2MB 16-way 128B; CPU L1 64KB 4-way 64B;
+	// CPU L2 16MB 16-way 64B. All must construct.
+	cfgs := []Config{
+		{SizeBytes: 32 << 10, LineBytes: 128, Ways: 4, Policy: WriteThroughNoAllocate},
+		{SizeBytes: 2 << 20, LineBytes: 128, Ways: 16, Policy: WriteThroughNoAllocate},
+		{SizeBytes: 64 << 10, LineBytes: 64, Ways: 4, Policy: WriteBackAllocate},
+		{SizeBytes: 16 << 20, LineBytes: 64, Ways: 16, Policy: WriteBackAllocate},
+	}
+	for _, cfg := range cfgs {
+		if _, err := New(cfg); err != nil {
+			t.Errorf("Table I geometry %+v rejected: %v", cfg, err)
+		}
+	}
+}
+
+func TestQuickProbeAfterReadAccess(t *testing.T) {
+	c := gpuL1(t)
+	f := func(addr uint32) bool {
+		a := mem.Addr(addr)
+		c.Access(a, false)
+		return c.Probe(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLineGranularity(t *testing.T) {
+	c := gpuL1(t)
+	f := func(addr uint32, off uint8) bool {
+		a := mem.Addr(addr)
+		c.Access(a, false)
+		// Any offset within the same 128B line must hit.
+		same := (a &^ 127) | mem.Addr(off)&127
+		return c.Access(same, false).Hit
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

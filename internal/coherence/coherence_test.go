@@ -1,0 +1,224 @@
+package coherence
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"memnet/internal/mem"
+)
+
+func TestColdReadGrantsExclusive(t *testing.T) {
+	d := NewDirectory(4)
+	act := d.Read(0, 0x100)
+	if act.Granted != Exclusive || act.Data != FromMemory {
+		t.Fatalf("cold read = %+v, want Exclusive from memory", act)
+	}
+	if d.StateOf(0, 0x100) != Exclusive {
+		t.Fatal("state not recorded")
+	}
+}
+
+func TestSecondReaderSharesAndDowngrades(t *testing.T) {
+	d := NewDirectory(4)
+	d.Read(0, 0x100) // E
+	act := d.Read(1, 0x100)
+	if act.Granted != Shared || act.Data != FromMemory {
+		t.Fatalf("second read = %+v, want Shared from memory", act)
+	}
+	if d.StateOf(0, 0x100) != Shared {
+		t.Fatalf("E holder should downgrade to S, got %v", d.StateOf(0, 0x100))
+	}
+}
+
+func TestReadFromModifiedOwnerGivesOwned(t *testing.T) {
+	d := NewDirectory(4)
+	d.Write(0, 0x200) // M
+	act := d.Read(1, 0x200)
+	if act.Data != FromOwner || act.Owner != 0 {
+		t.Fatalf("read of dirty line = %+v, want owner-sourced", act)
+	}
+	if d.StateOf(0, 0x200) != Owned {
+		t.Fatalf("owner state = %v, want Owned (MOESI, no write-back)", d.StateOf(0, 0x200))
+	}
+	if d.StateOf(1, 0x200) != Shared {
+		t.Fatal("reader should be Shared")
+	}
+	if act.WroteBack {
+		t.Fatal("MOESI read of M line must not write back")
+	}
+}
+
+func TestWriteInvalidatesSharers(t *testing.T) {
+	d := NewDirectory(4)
+	d.Read(0, 0x300)
+	d.Read(1, 0x300)
+	d.Read(2, 0x300)
+	act := d.Write(3, 0x300)
+	if act.Granted != Modified {
+		t.Fatalf("write granted %v, want Modified", act.Granted)
+	}
+	if len(act.Invalidated) != 3 {
+		t.Fatalf("invalidated %v, want 3 agents", act.Invalidated)
+	}
+	for a := 0; a < 3; a++ {
+		if d.StateOf(a, 0x300) != Invalid {
+			t.Fatalf("agent %d not invalidated", a)
+		}
+	}
+}
+
+func TestUpgradeFromSharedNeedsNoData(t *testing.T) {
+	d := NewDirectory(2)
+	d.Read(0, 0x400)
+	d.Read(1, 0x400)
+	act := d.Write(0, 0x400)
+	if act.Data != FromNone {
+		t.Fatalf("upgrade data source = %v, want FromNone", act.Data)
+	}
+	if d.StateOf(1, 0x400) != Invalid {
+		t.Fatal("other sharer survived upgrade")
+	}
+}
+
+func TestSilentEUpgrade(t *testing.T) {
+	d := NewDirectory(2)
+	d.Read(0, 0x500) // E
+	act := d.Write(0, 0x500)
+	if act.Data != FromNone || len(act.Invalidated) != 0 {
+		t.Fatalf("E->M should be silent, got %+v", act)
+	}
+}
+
+func TestWriteStealsDirtyLine(t *testing.T) {
+	d := NewDirectory(2)
+	d.Write(0, 0x600) // M at 0
+	act := d.Write(1, 0x600)
+	if act.Data != FromOwner || act.Owner != 0 {
+		t.Fatalf("write to remote-dirty = %+v, want owner transfer", act)
+	}
+	if d.StateOf(0, 0x600) != Invalid || d.StateOf(1, 0x600) != Modified {
+		t.Fatal("ownership transfer states wrong")
+	}
+}
+
+func TestEvictDirtyWritesBack(t *testing.T) {
+	d := NewDirectory(2)
+	d.Write(0, 0x700)
+	act := d.Evict(0, 0x700)
+	if !act.WroteBack {
+		t.Fatal("evicting M must write back")
+	}
+	d.Read(1, 0x700)
+	if d.StateOf(1, 0x700) != Exclusive {
+		t.Fatal("line should be fresh after write-back")
+	}
+}
+
+func TestEvictCleanIsSilent(t *testing.T) {
+	d := NewDirectory(2)
+	d.Read(0, 0x800)
+	if act := d.Evict(0, 0x800); act.WroteBack {
+		t.Fatal("clean eviction wrote back")
+	}
+}
+
+func TestInvalidateAllForDMA(t *testing.T) {
+	d := NewDirectory(3)
+	d.Write(0, 0x900)
+	d.Read(1, 0xA00)
+	act := d.InvalidateAll(0x900)
+	if !act.WroteBack || len(act.Invalidated) != 1 {
+		t.Fatalf("DMA invalidate of dirty line = %+v", act)
+	}
+	if d.StateOf(0, 0x900) != Invalid {
+		t.Fatal("copy survived DMA invalidate")
+	}
+	if act := d.InvalidateAll(0xFFF); act.WroteBack || len(act.Invalidated) != 0 {
+		t.Fatal("invalidate of uncached line should be a no-op")
+	}
+}
+
+func TestOwnedSuppliesWithoutStateChange(t *testing.T) {
+	d := NewDirectory(3)
+	d.Write(0, 0xB00)
+	d.Read(1, 0xB00) // 0 becomes O
+	act := d.Read(2, 0xB00)
+	if act.Data != FromOwner || act.Owner != 0 {
+		t.Fatalf("O should keep supplying: %+v", act)
+	}
+	if d.StateOf(0, 0xB00) != Owned {
+		t.Fatal("owner state changed")
+	}
+}
+
+func TestInvariantsUnderRandomTraffic(t *testing.T) {
+	d := NewDirectory(5)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 20000; i++ {
+		agent := rng.Intn(5)
+		line := mem.Addr(rng.Intn(32)) * 64
+		switch rng.Intn(3) {
+		case 0:
+			d.Read(agent, line)
+		case 1:
+			d.Write(agent, line)
+		case 2:
+			d.Evict(agent, line)
+		}
+		if i%997 == 0 {
+			if err := d.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+		}
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickWriterAlwaysSoleModified(t *testing.T) {
+	f := func(ops []uint16) bool {
+		d := NewDirectory(4)
+		for _, op := range ops {
+			agent := int(op) % 4
+			line := mem.Addr((op>>2)%8) * 64
+			if op%3 == 0 {
+				d.Write(agent, line)
+				if d.StateOf(agent, line) != Modified {
+					return false
+				}
+				for a := 0; a < 4; a++ {
+					if a != agent && d.StateOf(a, line) != Invalid {
+						return false
+					}
+				}
+			} else {
+				d.Read(agent, line)
+			}
+		}
+		return d.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAgentRangePanics(t *testing.T) {
+	d := NewDirectory(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range agent did not panic")
+		}
+	}()
+	d.Read(5, 0)
+}
+
+func TestStateString(t *testing.T) {
+	want := map[State]string{Invalid: "I", Shared: "S", Exclusive: "E", Owned: "O", Modified: "M"}
+	for s, str := range want {
+		if s.String() != str {
+			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), str)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Package core assembles the complete multi-GPU systems of the paper: the
+// PCIe baseline and the CMN / GMN / UMN memory-network organizations
+// (Table III), each driving the SKE runtime, the GPU and CPU timing
+// models, the HMC memory devices and the interconnection network, and runs
+// workloads end to end (memcpy, kernel iterations, host compute phases).
+package core
+
+import (
+	"fmt"
+
+	"memnet/internal/cpu"
+	"memnet/internal/gpu"
+	"memnet/internal/hmc"
+	"memnet/internal/mem"
+	"memnet/internal/noc"
+	"memnet/internal/pcie"
+	"memnet/internal/ske"
+	"memnet/internal/workload"
+)
+
+// Arch enumerates the evaluated multi-GPU architectures (Table III).
+type Arch int
+
+// Architectures.
+const (
+	// PCIe: conventional PCIe-based multi-GPU with explicit memcpy.
+	PCIe Arch = iota
+	// PCIeZC: PCIe-based with zero-copy (data stays in CPU memory).
+	PCIeZC
+	// CMN: CPU memory network with memcpy; GPU-host and GPU-GPU
+	// communication cross the CPU's memory network instead of PCIe, but
+	// each GPU's local memory stays private (Fig. 8a).
+	CMN
+	// CMNZC: CMN with zero-copy host memory.
+	CMNZC
+	// GMN: GPU memory network with memcpy; all GPU local memories are
+	// interconnected (Fig. 8b), the host stays on PCIe.
+	GMN
+	// GMNZC: GMN with zero-copy host memory over PCIe.
+	GMNZC
+	// UMN: unified memory network; CPU and GPU memory share one network
+	// and no copies are needed (Fig. 8c).
+	UMN
+)
+
+var archNames = map[Arch]string{
+	PCIe: "PCIe", PCIeZC: "PCIe-ZC", CMN: "CMN", CMNZC: "CMN-ZC",
+	GMN: "GMN", GMNZC: "GMN-ZC", UMN: "UMN",
+}
+
+func (a Arch) String() string {
+	if s, ok := archNames[a]; ok {
+		return s
+	}
+	return fmt.Sprintf("Arch(%d)", int(a))
+}
+
+// Architectures returns all architectures in Table III order.
+func Architectures() []Arch {
+	return []Arch{PCIe, PCIeZC, CMN, CMNZC, GMN, GMNZC, UMN}
+}
+
+// ParseArch converts an architecture name.
+func ParseArch(s string) (Arch, error) {
+	for a, name := range archNames {
+		if name == s {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown architecture %q", s)
+}
+
+// zeroCopy reports whether host-initialized data stays in CPU memory.
+func (a Arch) zeroCopy() bool { return a == PCIeZC || a == CMNZC || a == GMNZC }
+
+// needsCopy reports whether explicit H2D/D2H transfers happen.
+func (a Arch) needsCopy() bool { return a == PCIe || a == CMN || a == GMN }
+
+// hasPCIe reports whether a PCIe fabric exists in the system.
+func (a Arch) hasPCIe() bool {
+	return a == PCIe || a == PCIeZC || a == GMN || a == GMNZC
+}
+
+// hasGPUNetwork reports whether GPU clusters are interconnected.
+func (a Arch) hasGPUNetwork() bool { return a == GMN || a == GMNZC || a == UMN }
+
+// Config describes one simulated system and run.
+type Config struct {
+	Arch     Arch
+	Workload string
+	Scale    float64
+
+	// Custom, when non-nil, overrides Workload/Scale with a caller-built
+	// workload — e.g. a replayed kernel trace (workload.FromTrace).
+	Custom *workload.Workload
+
+	NumGPUs    int // discrete GPUs (and GPU HMC clusters)
+	HMCsPerGPU int
+
+	// ExecGPUs restricts kernel execution to the first N GPUs (0 = all);
+	// Fig. 7 runs a kernel on one GPU with data spread over several.
+	ExecGPUs int
+	// DataClusters overrides which GPU clusters hold device data in
+	// memcpy mode (nil = all executing-system GPU clusters).
+	DataClusters []int
+
+	// Topo is the inter-cluster topology for GMN/UMN (default sFBFLY).
+	Topo           noc.TopoKind
+	TopoMultiplier int  // channel duplication (the "-2x" variants)
+	Overlay        bool // UMN CPU overlay (Section V-C)
+	UGAL           bool // UGAL injection routing (Fig. 15)
+	Adaptive       bool // adaptive minimal-port selection (Fig. 15)
+
+	Sched ske.Policy
+
+	// OwnerCompute places each buffer's pages proportionally along the
+	// CTA index space instead of randomly, so the GPU that executes a
+	// region's CTAs (under static chunking) also owns its pages — the
+	// locality-optimized mapping Section III-C leaves as an open
+	// question. An extension beyond the paper.
+	OwnerCompute bool
+
+	GPU  gpu.Config
+	CPU  cpu.Config
+	HMC  hmc.Config
+	Net  noc.Config
+	PCIe pcie.Config
+	SKE  ske.Config
+
+	Seed int64
+}
+
+// DefaultConfig returns the paper's 4GPU-16HMC configuration (Table I)
+// for the given architecture and workload.
+func DefaultConfig(arch Arch, workloadName string) Config {
+	return Config{
+		Arch:       arch,
+		Workload:   workloadName,
+		Scale:      1.0,
+		NumGPUs:    4,
+		HMCsPerGPU: 4,
+		Topo:       noc.TopoSFBFLY,
+		Sched:      ske.StaticChunk,
+		GPU:        gpu.DefaultConfig(),
+		CPU:        cpu.DefaultConfig(),
+		HMC:        hmc.DefaultConfig(),
+		Net:        noc.DefaultConfig(),
+		PCIe:       pcie.DefaultConfig(),
+		SKE:        ske.DefaultConfig(),
+		Seed:       1,
+	}
+}
+
+func (c *Config) validate() error {
+	if c.NumGPUs <= 0 || c.HMCsPerGPU <= 0 {
+		return fmt.Errorf("core: need GPUs and HMCs, got %d/%d", c.NumGPUs, c.HMCsPerGPU)
+	}
+	if c.ExecGPUs < 0 || c.ExecGPUs > c.NumGPUs {
+		return fmt.Errorf("core: ExecGPUs %d out of range", c.ExecGPUs)
+	}
+	if c.Overlay && c.Arch != UMN {
+		return fmt.Errorf("core: overlay requires UMN")
+	}
+	if c.Scale <= 0 {
+		return fmt.Errorf("core: scale must be positive")
+	}
+	return nil
+}
+
+// cpuCluster returns the CPU's cluster index (after the GPU clusters).
+func (c *Config) cpuCluster() int { return c.NumGPUs }
+
+// clusters returns the total cluster count (GPUs + CPU).
+func (c *Config) clusters() int { return c.NumGPUs + 1 }
+
+// memConfig derives the address-mapping configuration; the cluster field
+// is padded to a power of two as required by the bit-field layout.
+func (c *Config) memConfig() mem.Config {
+	mc := mem.DefaultConfig()
+	mc.LocalPerCluster = c.HMCsPerGPU
+	mc.Clusters = 1
+	for mc.Clusters < c.clusters() {
+		mc.Clusters <<= 1
+	}
+	return mc
+}

@@ -1,0 +1,18 @@
+package core
+
+import "testing"
+
+func TestOwnerComputePlacementImprovesLocality(t *testing.T) {
+	base := tiny(GMN, "BP")
+	oc := tiny(GMN, "BP")
+	oc.OwnerCompute = true
+	rb, ro := mustRun(t, base), mustRun(t, oc)
+	// Owner-compute keeps most accesses on local HMCs: fewer network hops
+	// and a faster kernel than random placement.
+	if ro.AvgHops >= rb.AvgHops {
+		t.Fatalf("owner-compute hops %.3f not below random %.3f", ro.AvgHops, rb.AvgHops)
+	}
+	if ro.Kernel >= rb.Kernel {
+		t.Fatalf("owner-compute kernel %d not below random %d", ro.Kernel, rb.Kernel)
+	}
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+
+	"memnet/internal/energy"
+	"memnet/internal/mem"
+	"memnet/internal/sim"
+	"memnet/internal/stats"
+)
+
+// Result summarizes one complete run (Fig. 14's runtime breakdown plus the
+// network, cache and memory statistics the other figures report).
+type Result struct {
+	Workload string
+	Arch     string
+	Topo     string
+	NumGPUs  int
+
+	// Runtime breakdown (ps).
+	H2D    sim.Time // host-to-device memcpy
+	Kernel sim.Time // kernel execution (all iterations, incl. launch)
+	Host   sim.Time // host-thread compute phases (CG.S / FT.S)
+	D2H    sim.Time // device-to-host memcpy
+	Total  sim.Time
+
+	// Memory-network statistics.
+	NetActiveJ     float64
+	NetIdleJ       float64
+	NetEnergyJ     float64
+	AvgPktLatency  sim.Time
+	P99PktLatency  sim.Time
+	AvgHops        float64
+	AvgPassHops    float64
+	RouterChannels int // bidirectional router-to-router channels (Fig. 12)
+	Traffic        *stats.Matrix
+
+	// Device statistics.
+	L1HitRate     float64
+	L2HitRate     float64
+	GPUMemLatency sim.Time
+	HostMemLat    sim.Time
+	RowHitRate    float64
+	CTAsPerGPU    []int64
+	CTAsStolen    int64
+	HostStallPS   int64
+}
+
+// Run builds the system for cfg and executes the workload end to end.
+func Run(cfg Config) (*Result, error) {
+	s, err := NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Execute()
+}
+
+// Execute runs the bound workload through its phases: H2D copy (if the
+// architecture copies), kernel iterations interleaved with host compute,
+// and the D2H copy, then gathers statistics.
+func (s *System) Execute() (*Result, error) {
+	res := &Result{
+		Workload: s.w.Abbr,
+		Arch:     s.cfg.Arch.String(),
+		Topo:     s.cfg.Topo.String(),
+		NumGPUs:  s.cfg.NumGPUs,
+	}
+	if s.cfg.Arch.needsCopy() {
+		t, err := s.runPhase("h2d memcpy", func(done func()) { s.memcpy(true, done) })
+		if err != nil {
+			return nil, err
+		}
+		res.H2D = t
+	}
+	kernel := s.w.Kernel(s.binding)
+	for iter := 0; iter < s.w.Iterations(); iter++ {
+		t, err := s.runPhase("kernel", func(done func()) { s.rt.Launch(kernel, done) })
+		if err != nil {
+			return nil, err
+		}
+		res.Kernel += t
+		if tr := s.w.HostTrace(s.binding, iter); tr != nil {
+			// The kernel may have written buffers the host reads next;
+			// under the relaxed consistency model the host's caches are
+			// invalidated before it consumes GPU output.
+			s.host.FlushCaches()
+			t, err := s.runPhase("host compute", func(done func()) { s.host.Run(tr, done) })
+			if err != nil {
+				return nil, err
+			}
+			res.Host += t
+		}
+	}
+	if s.cfg.Arch.needsCopy() && s.w.D2HBytes() > 0 {
+		t, err := s.runPhase("d2h memcpy", func(done func()) { s.memcpy(false, done) })
+		if err != nil {
+			return nil, err
+		}
+		res.D2H = t
+	}
+	res.Total = res.H2D + res.Kernel + res.Host + res.D2H
+	s.collect(res)
+	return res, nil
+}
+
+// runPhase starts a phase and drives the engine until its completion
+// callback fires, returning the elapsed simulated time.
+func (s *System) runPhase(name string, start func(done func())) (sim.Time, error) {
+	t0 := s.eng.Now()
+	finished := false
+	start(func() { finished = true })
+	s.eng.RunWhile(func() bool { return !finished })
+	if !finished {
+		return 0, fmt.Errorf("core: phase %q deadlocked at t=%d ps (no events left)", name, s.eng.Now())
+	}
+	return s.eng.Now() - t0, nil
+}
+
+// memcpy transfers the workload's host-initialized (h2d) or output (d2h)
+// buffers between the host and the device clusters holding their pages.
+func (s *System) memcpy(h2d bool, done func()) {
+	byCluster := s.copyBytesByCluster(h2d)
+	if len(byCluster) == 0 {
+		s.eng.After(0, done)
+		return
+	}
+	// DMA writes invalidate host-cached lines (MOESI InvalidateAll); the
+	// shootdown cost is folded into the DMA latency below at page
+	// granularity.
+	var dirtyPages int64
+	if h2d {
+		for _, spec := range s.w.Buffers() {
+			if !spec.HostInit {
+				continue
+			}
+			buf := s.binding[spec.Name]
+			pb := uint64(s.space.Mapping().PageBytes())
+			for off := uint64(0); off < buf.Size; off += pb {
+				act := s.dir.InvalidateAll(buf.Base + mem.Addr(off))
+				if act.WroteBack {
+					dirtyPages++
+				}
+			}
+		}
+	}
+	shootdown := sim.Time(dirtyPages) * 20 * sim.Nanosecond
+
+	if s.cfg.Arch.hasPCIe() {
+		remaining := len(byCluster)
+		cpuEP := s.ep[s.cfg.cpuCluster()]
+		finish := func() {
+			remaining--
+			if remaining == 0 {
+				s.eng.After(shootdown, done)
+			}
+		}
+		for c, bytes := range byCluster {
+			if h2d {
+				s.fabric.Send(cpuEP, s.ep[c], bytes, finish)
+			} else {
+				s.fabric.Send(s.ep[c], cpuEP, bytes, finish)
+			}
+		}
+		return
+	}
+	// CMN: bulk DMA over the CPU memory network, modeled analytically.
+	// cudaMemcpy transfers serialize on the single DMA stream, each
+	// bounded by the destination GPU's CMN attachment bandwidth.
+	chanBW := float64(s.cfg.Net.FlitBytes) * s.cfg.Net.ClockMHz * 1e6 // bytes/s per channel
+	perGPU := float64(cmnChansPerGPU) * chanBW
+	var total float64
+	for _, bytes := range byCluster {
+		total += float64(bytes) / perGPU
+	}
+	dur := sim.Time(total*1e12) + 2*sim.Microsecond + shootdown
+	s.eng.After(dur, done)
+}
+
+// copyBytesByCluster sums, per device cluster, the bytes of pages that an
+// H2D (d2h=false) or D2H copy must move.
+func (s *System) copyBytesByCluster(h2d bool) map[int]int64 {
+	out := make(map[int]int64)
+	pb := uint64(s.space.Mapping().PageBytes())
+	for _, spec := range s.w.Buffers() {
+		if h2d && !spec.HostInit {
+			continue
+		}
+		if !h2d && !spec.Output {
+			continue
+		}
+		buf := s.binding[spec.Name]
+		for off := uint64(0); off < buf.Size; off += pb {
+			loc := s.space.LocOf(buf.Base + mem.Addr(off))
+			n := pb
+			if off+n > buf.Size {
+				n = buf.Size - off
+			}
+			out[loc.Cluster] += int64(n)
+		}
+	}
+	return out
+}
+
+// collect gathers post-run statistics into res.
+func (s *System) collect(res *Result) {
+	busy, total := s.net.AllChannelBusy()
+	p := energy.Default()
+	p.FlitBytes = s.cfg.Net.FlitBytes
+	res.NetActiveJ, res.NetIdleJ = p.Split(busy, total)
+	res.NetEnergyJ = res.NetActiveJ + res.NetIdleJ
+	res.AvgPktLatency = sim.Time(s.net.Stats.Latency.Value())
+	res.P99PktLatency = sim.Time(s.net.Stats.LatencyHist.Percentile(99))
+	res.AvgHops = s.net.Stats.Hops.Value()
+	res.AvgPassHops = s.net.Stats.PassHops.Value()
+	res.RouterChannels = s.net.NumRouterChannels() / 2
+	res.Traffic = s.net.Stats.Traffic
+
+	var l1h, l1m int64
+	var memLat stats.Mean
+	for _, g := range s.gpus {
+		h, m := g.L1Stats()
+		l1h += h
+		l1m += m
+		if g.Stats.MemLatency.Count() > 0 {
+			memLat.Add(g.Stats.MemLatency.Value())
+		}
+	}
+	if l1h+l1m > 0 {
+		res.L1HitRate = float64(l1h) / float64(l1h+l1m)
+	}
+	var l2h, l2m int64
+	for _, g := range s.gpus {
+		st := g.L2CacheStats()
+		l2h += st.ReadHits.Value() + st.WriteHits.Value()
+		l2m += st.ReadMisses.Value() + st.WriteMisses.Value()
+	}
+	if l2h+l2m > 0 {
+		res.L2HitRate = float64(l2h) / float64(l2h+l2m)
+	}
+	res.GPUMemLatency = sim.Time(memLat.Value())
+	res.HostMemLat = sim.Time(s.host.Stats.MemLatency.Value())
+	res.HostStallPS = s.host.Stats.StallPS.Value()
+
+	var rh, rm int64
+	for _, h := range s.hmcs {
+		rh += h.Stats.RowHits.Value()
+		rm += h.Stats.RowMisses.Value()
+	}
+	if rh+rm > 0 {
+		res.RowHitRate = float64(rh) / float64(rh+rm)
+	}
+	for i := range s.rt.Stats.PerGPU {
+		res.CTAsPerGPU = append(res.CTAsPerGPU, s.rt.Stats.PerGPU[i].Value())
+	}
+	res.CTAsStolen = s.rt.Stats.CTAsStolen.Value()
+}

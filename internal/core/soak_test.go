@@ -1,0 +1,42 @@
+package core
+
+import "testing"
+
+// TestSoakAllWorkloadsAllArchitectures runs the full Table II x Table III
+// matrix at tiny scale: every combination must complete, conserve CTAs,
+// and keep the runtime breakdown consistent. Skipped under -short.
+func TestSoakAllWorkloadsAllArchitectures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak matrix skipped in -short mode")
+	}
+	wls := []string{"BP", "BFS", "SRAD", "KMN", "BH", "SP", "SCAN",
+		"3DFD", "FWT", "CG.S", "FT.S", "RAY", "STO", "CP"}
+	for _, wl := range wls {
+		for _, arch := range Architectures() {
+			cfg := tiny(arch, wl)
+			cfg.GPU.Cores = 8
+			s, err := NewSystem(cfg)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", wl, arch, err)
+			}
+			res, err := s.Execute()
+			if err != nil {
+				t.Fatalf("%s/%s: %v", wl, arch, err)
+			}
+			if res.Total != res.H2D+res.Kernel+res.Host+res.D2H {
+				t.Fatalf("%s/%s: breakdown does not sum", wl, arch)
+			}
+			var ctas int64
+			for _, n := range res.CTAsPerGPU {
+				ctas += n
+			}
+			want := int64(s.Workload().NumCTAs() * s.Workload().Iterations())
+			if ctas != want {
+				t.Fatalf("%s/%s: %d CTAs, want %d", wl, arch, ctas, want)
+			}
+			if arch.needsCopy() == (res.H2D == 0) {
+				t.Fatalf("%s/%s: H2D time inconsistent with architecture", wl, arch)
+			}
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"memnet/internal/sim"
+)
+
+// TestTableIConfiguration pins the default configuration to Table I of the
+// paper. A drive-by change to any default breaks this test, keeping the
+// reproduction honest.
+func TestTableIConfiguration(t *testing.T) {
+	cfg := DefaultConfig(UMN, "VA")
+
+	// GPU.
+	if cfg.GPU.Cores != 64 {
+		t.Errorf("GPU cores = %d, want 64 per GPU", cfg.GPU.Cores)
+	}
+	if cfg.GPU.MaxThreadsPerCore != 1024 || cfg.GPU.MaxCTAsPerCore != 8 {
+		t.Errorf("core limits = %d threads / %d CTAs, want 1024/8",
+			cfg.GPU.MaxThreadsPerCore, cfg.GPU.MaxCTAsPerCore)
+	}
+	if cfg.GPU.WarpSize != 32 {
+		t.Errorf("SIMD width = %d, want 32", cfg.GPU.WarpSize)
+	}
+	if cfg.GPU.L1.SizeBytes != 32<<10 || cfg.GPU.L1.Ways != 4 || cfg.GPU.L1.LineBytes != 128 {
+		t.Errorf("L1 = %+v, want 32KB/4-way/128B", cfg.GPU.L1)
+	}
+	if cfg.GPU.L2.SizeBytes != 2<<20 || cfg.GPU.L2.Ways != 16 || cfg.GPU.L2.LineBytes != 128 {
+		t.Errorf("L2 = %+v, want 2MB/16-way/128B", cfg.GPU.L2)
+	}
+	if cfg.GPU.CoreClockMHz != 1400 || cfg.GPU.L2ClockMHz != 700 {
+		t.Errorf("clocks = %v/%v MHz, want 1400/700", cfg.GPU.CoreClockMHz, cfg.GPU.L2ClockMHz)
+	}
+	if cfg.HMCsPerGPU != 4 || cfg.NumGPUs != 4 {
+		t.Errorf("system = %d GPUs x %d HMCs, want 4x4", cfg.NumGPUs, cfg.HMCsPerGPU)
+	}
+
+	// CPU.
+	if cfg.CPU.ClockMHz != 4000 || cfg.CPU.IssueWidth != 4 || cfg.CPU.ROB != 64 {
+		t.Errorf("CPU = %v MHz width %d ROB %d, want 4GHz/4/64",
+			cfg.CPU.ClockMHz, cfg.CPU.IssueWidth, cfg.CPU.ROB)
+	}
+	if cfg.CPU.L1.SizeBytes != 64<<10 || cfg.CPU.L1Cycles != 2 {
+		t.Errorf("CPU L1 = %+v @%d cycles, want 64KB @2", cfg.CPU.L1, cfg.CPU.L1Cycles)
+	}
+	if cfg.CPU.L2.SizeBytes != 16<<20 || cfg.CPU.L2Cycles != 10 {
+		t.Errorf("CPU L2 = %+v @%d cycles, want 16MB @10", cfg.CPU.L2, cfg.CPU.L2Cycles)
+	}
+	if cfg.CPU.L1.LineBytes != 64 {
+		t.Errorf("CPU line = %dB, want 64B", cfg.CPU.L1.LineBytes)
+	}
+
+	// HMC.
+	if cfg.HMC.Vaults != 16 || cfg.HMC.BanksPerVault != 16 {
+		t.Errorf("HMC organization = %dx%d, want 16 vaults x 16 banks", cfg.HMC.Vaults, cfg.HMC.BanksPerVault)
+	}
+	if cfg.HMC.QueueDepth != 16 {
+		t.Errorf("request queue = %d, want 16 entries/vault", cfg.HMC.QueueDepth)
+	}
+	tm := cfg.HMC.Timing
+	if tm.TCK != 1250*sim.Picosecond {
+		t.Errorf("tCK = %d ps, want 1250 (1.25ns)", tm.TCK)
+	}
+	if tm.RP != 11 || tm.CCD != 4 || tm.RCD != 11 || tm.CL != 11 || tm.WR != 12 || tm.RAS != 22 {
+		t.Errorf("DRAM timing = %+v, want tRP=11 tCCD=4 tRCD=11 tCL=11 tWR=12 tRAS=22", tm)
+	}
+
+	// Network (Section VI-A).
+	if cfg.Net.VCsPerClass != 6 || cfg.Net.Classes != 2 {
+		t.Errorf("VCs = %dx%d, want 2 classes x 6 VCs", cfg.Net.Classes, cfg.Net.VCsPerClass)
+	}
+	if cfg.Net.BufFlitsPerVC*cfg.Net.FlitBytes != 512 {
+		t.Errorf("VC buffer = %d B, want 512", cfg.Net.BufFlitsPerVC*cfg.Net.FlitBytes)
+	}
+	if cfg.Net.RouterPipeline != 4 || cfg.Net.ClockMHz != 1250 {
+		t.Errorf("router = %d-stage @%v MHz, want 4-stage @1250", cfg.Net.RouterPipeline, cfg.Net.ClockMHz)
+	}
+	// 3.2 ns SerDes at 1.25 GHz = 4 cycles.
+	if cfg.Net.SerDesCycles != 4 {
+		t.Errorf("SerDes = %d cycles, want 4 (3.2ns)", cfg.Net.SerDesCycles)
+	}
+	// 20 GB/s per channel per direction = 16 B/cycle at 1.25 GHz.
+	if bw := float64(cfg.Net.FlitBytes) * cfg.Net.ClockMHz * 1e6; bw != 20e9 {
+		t.Errorf("channel bandwidth = %v B/s, want 20 GB/s", bw)
+	}
+
+	// PCIe: 16-lane v3.0.
+	if cfg.PCIe.BytesPerSec != 15.75e9 {
+		t.Errorf("PCIe = %v B/s, want 15.75 GB/s", cfg.PCIe.BytesPerSec)
+	}
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"memnet/internal/workload"
+)
+
+func TestTraceReplayThroughFullSystem(t *testing.T) {
+	// Capture a built-in workload's kernel, then replay it through the
+	// system driver as a custom workload: it must run to completion on
+	// the UMN with the same CTA count.
+	wl, err := workload.New("VA", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build a throwaway system to get a binding for capture.
+	cap, err := NewSystem(tiny(UMN, "VA"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := workload.WriteTrace(&buf, cap.Workload(), cap.Binding()); err != nil {
+		t.Fatal(err)
+	}
+	tk, err := workload.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tiny(UMN, "ignored")
+	cfg.Custom = workload.FromTrace(tk)
+	res := mustRun(t, cfg)
+	var total int64
+	for _, n := range res.CTAsPerGPU {
+		total += n
+	}
+	if total != int64(wl.NumCTAs()) {
+		t.Fatalf("replayed %d CTAs, want %d", total, wl.NumCTAs())
+	}
+	if res.Kernel <= 0 {
+		t.Fatal("replay produced no kernel time")
+	}
+}

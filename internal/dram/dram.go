@@ -1,0 +1,98 @@
+// Package dram models DRAM bank timing for the HMC vaults.
+//
+// Each bank tracks its open row and the earliest times at which the next
+// activate, column command and precharge may issue, derived from the timing
+// parameters of Table I of the paper (tCK=1.25ns, tRP=11, tCCD=4, tRCD=11,
+// tCL=11, tWR=12, tRAS=22, all in DRAM cycles).
+package dram
+
+import "memnet/internal/sim"
+
+// Timing holds DRAM timing parameters. Cycle-valued fields are in DRAM
+// clock cycles of period TCK.
+type Timing struct {
+	TCK   sim.Time // DRAM clock period
+	RP    int      // precharge period
+	CCD   int      // column-to-column delay
+	RCD   int      // row-to-column delay
+	CL    int      // CAS (read) latency
+	WR    int      // write recovery
+	RAS   int      // activate-to-precharge
+	Burst int      // data burst length in cycles
+}
+
+// Table1 returns the paper's DRAM timing (Table I).
+func Table1() Timing {
+	return Timing{
+		TCK:   1250 * sim.Picosecond,
+		RP:    11,
+		CCD:   4,
+		RCD:   11,
+		CL:    11,
+		WR:    12,
+		RAS:   22,
+		Burst: 4,
+	}
+}
+
+func (t Timing) cyc(n int) sim.Time { return sim.Time(n) * t.TCK }
+
+// Bank is the timing state of one DRAM bank.
+type Bank struct {
+	openRow    int64 // -1 when closed
+	actAt      sim.Time
+	colReadyAt sim.Time // earliest next column command (tCCD)
+	preReadyAt sim.Time // earliest next precharge (tWR after writes)
+}
+
+// NewBank returns a closed, idle bank.
+func NewBank() *Bank {
+	return &Bank{openRow: -1}
+}
+
+// OpenRow returns the currently open row, or -1 if the bank is precharged.
+func (b *Bank) OpenRow() int64 { return b.openRow }
+
+// Precharge closes the open row (used by refresh, which precharges all
+// banks before the refresh cycle).
+func (b *Bank) Precharge() { b.openRow = -1 }
+
+// RowHit reports whether accessing row would hit the open row buffer.
+func (b *Bank) RowHit(row int64) bool { return b.openRow == row }
+
+// Access issues a read or write to row at the earliest legal time at or
+// after now and returns when the column command issues and when its data
+// completes. minCol lower-bounds the column command time (the vault's
+// shared data bus); row activation may proceed before minCol. The bank
+// state (open row, next-command constraints) is updated.
+func (b *Bank) Access(now sim.Time, row int64, write bool, t *Timing, minCol sim.Time) (issue, done sim.Time) {
+	if b.openRow != row {
+		// Precharge (if a row is open), then activate the target row.
+		if b.openRow >= 0 {
+			pre := maxTime(now, b.preReadyAt)
+			pre = maxTime(pre, b.actAt+t.cyc(t.RAS))
+			now = pre + t.cyc(t.RP)
+		}
+		b.actAt = now
+		b.openRow = row
+		now += t.cyc(t.RCD)
+	}
+	issue = maxTime(now, b.colReadyAt)
+	issue = maxTime(issue, minCol)
+	b.colReadyAt = issue + t.cyc(t.CCD)
+	if write {
+		done = issue + t.cyc(t.Burst)
+		b.preReadyAt = done + t.cyc(t.WR)
+	} else {
+		done = issue + t.cyc(t.CL+t.Burst)
+		b.preReadyAt = issue + t.cyc(t.Burst)
+	}
+	return issue, done
+}
+
+func maxTime(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}

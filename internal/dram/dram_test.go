@@ -1,0 +1,128 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"memnet/internal/sim"
+)
+
+func tck(n int) sim.Time { return sim.Time(n) * 1250 }
+
+func TestRowHitReadLatency(t *testing.T) {
+	tm := Table1()
+	b := NewBank()
+	// First access: closed bank -> activate + read.
+	issue, done := b.Access(0, 7, false, &tm, 0)
+	if issue != tck(tm.RCD) {
+		t.Fatalf("first issue = %d, want tRCD = %d", issue, tck(tm.RCD))
+	}
+	if done != issue+tck(tm.CL+tm.Burst) {
+		t.Fatalf("first done = %d, want issue+CL+burst", done)
+	}
+	if !b.RowHit(7) {
+		t.Fatal("row 7 should be open")
+	}
+	// Same-row access after completion: pure column access.
+	issue2, done2 := b.Access(done, 7, false, &tm, 0)
+	if issue2 != done {
+		t.Fatalf("row-hit issue = %d, want %d (no activate)", issue2, done)
+	}
+	if done2-issue2 != tck(tm.CL+tm.Burst) {
+		t.Fatalf("row-hit latency = %d, want CL+burst", done2-issue2)
+	}
+}
+
+func TestRowConflictPaysPrechargeAndActivate(t *testing.T) {
+	tm := Table1()
+	b := NewBank()
+	_, done := b.Access(0, 1, false, &tm, 0)
+	issue, _ := b.Access(done, 2, false, &tm, 0)
+	// Must pay at least tRP + tRCD beyond the request time.
+	if issue < done+tck(tm.RP+tm.RCD) {
+		t.Fatalf("conflict issue = %d, want >= %d", issue, done+tck(tm.RP+tm.RCD))
+	}
+	if b.OpenRow() != 2 {
+		t.Fatalf("open row = %d, want 2", b.OpenRow())
+	}
+}
+
+func TestTRASConstrainsEarlyPrecharge(t *testing.T) {
+	tm := Table1()
+	b := NewBank()
+	b.Access(0, 1, false, &tm, 0) // activate at t=0
+	// Immediately conflict: precharge may not start before tRAS.
+	issue, _ := b.Access(tck(tm.RCD), 9, false, &tm, 0)
+	minIssue := tck(tm.RAS) + tck(tm.RP) + tck(tm.RCD)
+	if issue < minIssue {
+		t.Fatalf("early conflict issue = %d, want >= %d (tRAS honored)", issue, minIssue)
+	}
+}
+
+func TestWriteRecoveryDelaysPrecharge(t *testing.T) {
+	tm := Table1()
+	b := NewBank()
+	_, wdone := b.Access(0, 3, true, &tm, 0)
+	issue, _ := b.Access(wdone, 4, false, &tm, 0)
+	// Precharge must wait tWR after write data.
+	if issue < wdone+tck(tm.WR+tm.RP+tm.RCD) {
+		t.Fatalf("post-write conflict issue = %d, want >= %d", issue, wdone+tck(tm.WR+tm.RP+tm.RCD))
+	}
+}
+
+func TestCCDBackToBackColumns(t *testing.T) {
+	tm := Table1()
+	b := NewBank()
+	i1, _ := b.Access(0, 5, false, &tm, 0)
+	i2, _ := b.Access(i1, 5, false, &tm, 0) // request immediately
+	if i2-i1 != tck(tm.CCD) {
+		t.Fatalf("column spacing = %d, want tCCD = %d", i2-i1, tck(tm.CCD))
+	}
+}
+
+func TestWriteLatencyShorterThanRead(t *testing.T) {
+	tm := Table1()
+	b := NewBank()
+	b.Access(0, 5, false, &tm, 0)
+	ir, dr := b.Access(100000, 5, false, &tm, 0)
+	b2 := NewBank()
+	b2.Access(0, 5, false, &tm, 0)
+	iw, dw := b2.Access(100000, 5, true, &tm, 0)
+	if dr-ir <= dw-iw {
+		t.Fatalf("read latency %d should exceed write occupancy %d", dr-ir, dw-iw)
+	}
+}
+
+func TestQuickAccessMonotonicAndLegal(t *testing.T) {
+	tm := Table1()
+	f := func(rows []uint8, gaps []uint8) bool {
+		b := NewBank()
+		now := sim.Time(0)
+		lastIssue := sim.Time(-1)
+		for i, r := range rows {
+			if i < len(gaps) {
+				now += sim.Time(gaps[i]) * 100
+			}
+			issue, done := b.Access(now, int64(r%4), r%2 == 0, &tm, 0)
+			if issue < now || done < issue || issue <= lastIssue {
+				return false
+			}
+			lastIssue = issue
+			now = issue
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBankZeroValueViaNewIsClosed(t *testing.T) {
+	b := NewBank()
+	if b.OpenRow() != -1 {
+		t.Fatalf("new bank open row = %d, want -1", b.OpenRow())
+	}
+	if b.RowHit(0) {
+		t.Fatal("new bank must not report row hits")
+	}
+}

@@ -1,0 +1,42 @@
+// Package energy implements the interconnect energy model of Section VI-A:
+// 2.0 pJ per bit for real packets and 1.5 pJ per bit for idle packets (the
+// high-speed SerDes channels transmit idle symbols when no flit is
+// available, so an idle channel cycle still burns energy).
+package energy
+
+// Params holds the channel energy coefficients.
+type Params struct {
+	ActivePJPerBit float64 // energy per transmitted payload bit
+	IdlePJPerBit   float64 // energy per idle-symbol bit
+	FlitBytes      int     // bits moved per busy channel-cycle / idle symbol width
+}
+
+// Default returns the paper's coefficients (2.0 / 1.5 pJ/bit, 16 B flits).
+func Default() Params {
+	return Params{ActivePJPerBit: 2.0, IdlePJPerBit: 1.5, FlitBytes: 16}
+}
+
+// Network returns the network energy in joules given the number of busy
+// channel-cycles (one flit each) and total channel-cycles across all
+// channels.
+func (p Params) Network(busyCycles, totalCycles int64) float64 {
+	idle := totalCycles - busyCycles
+	if idle < 0 {
+		idle = 0
+	}
+	bitsPerCycle := float64(p.FlitBytes) * 8
+	activeJ := float64(busyCycles) * bitsPerCycle * p.ActivePJPerBit * 1e-12
+	idleJ := float64(idle) * bitsPerCycle * p.IdlePJPerBit * 1e-12
+	return activeJ + idleJ
+}
+
+// Split returns the active and idle components separately.
+func (p Params) Split(busyCycles, totalCycles int64) (activeJ, idleJ float64) {
+	idle := totalCycles - busyCycles
+	if idle < 0 {
+		idle = 0
+	}
+	bitsPerCycle := float64(p.FlitBytes) * 8
+	return float64(busyCycles) * bitsPerCycle * p.ActivePJPerBit * 1e-12,
+		float64(idle) * bitsPerCycle * p.IdlePJPerBit * 1e-12
+}

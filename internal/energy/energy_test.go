@@ -1,0 +1,52 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultCoefficients(t *testing.T) {
+	p := Default()
+	if p.ActivePJPerBit != 2.0 || p.IdlePJPerBit != 1.5 || p.FlitBytes != 16 {
+		t.Fatalf("Default() = %+v, not the paper's parameters", p)
+	}
+}
+
+func TestNetworkEnergy(t *testing.T) {
+	p := Default()
+	// 1 busy cycle = 128 bits * 2.0 pJ = 256 pJ; 1 idle = 192 pJ.
+	got := p.Network(1, 2)
+	want := (256 + 192) * 1e-12
+	if math.Abs(got-want) > 1e-18 {
+		t.Fatalf("Network(1,2) = %v, want %v", got, want)
+	}
+}
+
+func TestSplitComponents(t *testing.T) {
+	p := Default()
+	a, i := p.Split(3, 10)
+	if math.Abs(a+i-p.Network(3, 10)) > 1e-18 {
+		t.Fatal("Split components do not sum to Network")
+	}
+	if a <= 0 || i <= 0 {
+		t.Fatal("components must be positive")
+	}
+}
+
+func TestIdleNeverNegative(t *testing.T) {
+	p := Default()
+	if got := p.Network(10, 5); got != p.Network(10, 10) {
+		t.Fatalf("busy > total should clamp idle at 0: %v", got)
+	}
+}
+
+func TestMoreChannelsMoreIdleEnergy(t *testing.T) {
+	// The Fig. 17 effect: with equal traffic and runtime, a topology with
+	// more channels burns more idle energy.
+	p := Default()
+	small := p.Network(1000, 24*100000) // sFBFLY-like channel count
+	large := p.Network(1000, 48*100000) // dFBFLY-like channel count
+	if large <= small {
+		t.Fatal("more channel-cycles must cost more energy")
+	}
+}

@@ -1,0 +1,89 @@
+package gpu
+
+import (
+	"testing"
+
+	"memnet/internal/mem"
+	"memnet/internal/sim"
+)
+
+// TestDynamicParallelismChildRuns verifies device-side child-grid launches:
+// the child's CTAs execute on the same GPU and the parent kernel does not
+// complete before its children.
+func TestDynamicParallelismChildRuns(t *testing.T) {
+	eng := sim.NewEngine()
+	port := &fixedPort{eng: eng, delay: 10 * sim.Microsecond}
+	cfg := smallCfg()
+	g, err := New(eng, 0, cfg, port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	childRan := 0
+	child := &testKernel{name: "child", ctas: 4, threads: 32,
+		gen: func(cta, warp int) []WarpOp {
+			childRan++
+			// A slow store so the child clearly outlives the parent's
+			// own instructions.
+			return []WarpOp{{Kind: OpStore, Addrs: []mem.Addr{mem.Addr(0x100000 + cta*128)}}}
+		}}
+	parent := &testKernel{name: "parent", ctas: 1, threads: 32,
+		gen: func(cta, warp int) []WarpOp {
+			return []WarpOp{
+				{Compute: 4, Spawn: &Spawn{Kernel: child, CTAs: []int{0, 1, 2, 3}}},
+				{Compute: 4},
+			}
+		}}
+	var doneAt sim.Time = -1
+	g.Launch(parent, []int{0}, func() { doneAt = eng.Now() })
+	eng.Run()
+	if doneAt < 0 {
+		t.Fatal("parent never completed")
+	}
+	if childRan != 4 {
+		t.Fatalf("child warps generated = %d, want 4", childRan)
+	}
+	// Parent completion must include the child's slow stores.
+	if doneAt < 10*sim.Microsecond {
+		t.Fatalf("parent completed at %d, before child stores drained", doneAt)
+	}
+	// All 5 CTAs (1 parent + 4 child) counted.
+	if g.Stats.CTAs.Value() != 5 {
+		t.Fatalf("CTAs = %d, want 5", g.Stats.CTAs.Value())
+	}
+	if g.Busy() {
+		t.Fatal("GPU still busy after everything drained")
+	}
+}
+
+// TestNestedDynamicParallelism spawns grandchildren: completion must chain
+// through the whole tree.
+func TestNestedDynamicParallelism(t *testing.T) {
+	eng := sim.NewEngine()
+	port := &fixedPort{eng: eng, delay: 1 * sim.Microsecond}
+	g, err := New(eng, 0, smallCfg(), port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf := &testKernel{name: "leaf", ctas: 2, threads: 32,
+		gen: func(cta, warp int) []WarpOp {
+			return []WarpOp{{Kind: OpStore, Addrs: []mem.Addr{mem.Addr(0x200000 + cta*128)}}}
+		}}
+	mid := &testKernel{name: "mid", ctas: 2, threads: 32,
+		gen: func(cta, warp int) []WarpOp {
+			return []WarpOp{{Compute: 2, Spawn: &Spawn{Kernel: leaf, CTAs: []int{0, 1}}}}
+		}}
+	root := &testKernel{name: "root", ctas: 1, threads: 32,
+		gen: func(cta, warp int) []WarpOp {
+			return []WarpOp{{Compute: 2, Spawn: &Spawn{Kernel: mid, CTAs: []int{0, 1}}}}
+		}}
+	done := false
+	g.Launch(root, []int{0}, func() { done = true })
+	eng.Run()
+	if !done {
+		t.Fatal("root never completed")
+	}
+	// 1 root + 2 mid + 2x2 leaf = 7 CTAs.
+	if g.Stats.CTAs.Value() != 7 {
+		t.Fatalf("CTAs = %d, want 7", g.Stats.CTAs.Value())
+	}
+}

@@ -1,0 +1,194 @@
+package noc
+
+type peerKind int
+
+const (
+	peerRouter peerKind = iota
+	peerTerminal
+)
+
+type channelItem struct {
+	f      flit
+	vc     int
+	arrive int64
+}
+
+type creditItem struct {
+	vc     int
+	arrive int64
+}
+
+// Channel is one unidirectional link carrying one flit per cycle with a
+// fixed latency (SerDes + wire). Credits for consumed buffer slots travel
+// back over the channel with the same latency.
+type Channel struct {
+	index   int
+	latency int64
+
+	srcRouter, srcPort, srcTerm int
+	dstRouter, dstPort, dstTerm int
+
+	fifo    []channelItem
+	credits []creditItem
+
+	lastSendCycle int64
+	busyCycles    int64
+
+	// passNext designates this channel as part of an overlay pass-through
+	// chain (Section V-C): flits of PassThrough packets arriving here are
+	// forwarded onto passNext with minimal latency, bypassing the router
+	// pipeline, when their destination lies downstream on the chain.
+	passNext *Channel
+	// passRouters is the set of routers reachable downstream on the
+	// chain; passTerm is the terminal the chain ends on (-1 if none).
+	passRouters map[int]bool
+	passTerm    int
+	// passState remembers the head flit's express decision so all flits
+	// of a packet stay together.
+	passState map[uint64]bool
+	// expressing counts packets currently mid-express on this channel
+	// (head expressed, tail not yet seen). Only one packet may express at
+	// a time: express flits all share the reserved VC downstream, so
+	// concurrent express packets would interleave inside one VC queue.
+	expressing int
+	// holdQ holds express flits that found the next channel occupied.
+	holdQ []channelItem
+}
+
+// Latency returns the channel's traversal latency in cycles.
+func (c *Channel) Latency() int64 { return c.latency }
+
+// BusyCycles returns the number of cycles a flit was sent on this channel.
+func (c *Channel) BusyCycles() int64 { return c.busyCycles }
+
+func (c *Channel) canSend(cycle int64) bool { return c.lastSendCycle < cycle }
+
+func (c *Channel) send(cycle int64, f flit, vc int) {
+	c.lastSendCycle = cycle
+	c.busyCycles++
+	c.fifo = append(c.fifo, channelItem{f: f, vc: vc, arrive: cycle + c.latency})
+}
+
+// sendPass sends a flit with pass-through latency (bypassing SerDes).
+func (c *Channel) sendPass(cycle int64, f flit, vc int, passLat int64) {
+	c.lastSendCycle = cycle
+	c.busyCycles++
+	f.passChain = true
+	c.fifo = append(c.fifo, channelItem{f: f, vc: vc, arrive: cycle + passLat})
+}
+
+func (c *Channel) returnCredit(n *Network, cycle int64, vc int) {
+	n.creditsInFlight++
+	c.credits = append(c.credits, creditItem{vc: vc, arrive: cycle + c.latency})
+}
+
+// deliver moves arrived flits into the downstream buffer (or terminal) and
+// arrived credits back to the upstream sender. It also performs express
+// pass-through forwarding for overlay chains.
+func (c *Channel) deliver(n *Network) {
+	// Drain held express flits first: they have absolute priority on the
+	// channel and must stay in packet order.
+	for len(c.holdQ) > 0 && c.canSend(n.cycle) {
+		it := c.holdQ[0]
+		c.holdQ = c.holdQ[1:]
+		c.sendPass(n.cycle, it.f, it.vc, int64(n.cfg.PassThrough+n.cfg.WireCycles))
+	}
+	for len(c.credits) > 0 && c.credits[0].arrive <= n.cycle {
+		cr := c.credits[0]
+		c.credits = c.credits[1:]
+		n.creditsInFlight--
+		if c.srcRouter >= 0 {
+			n.routers[c.srcRouter].out[c.srcPort].credits[cr.vc]++
+		} else if c.srcTerm >= 0 {
+			n.terminals[c.srcTerm].ports[c.srcPortOnTerm(n)].credits[cr.vc]++
+		}
+	}
+	for len(c.fifo) > 0 && c.fifo[0].arrive <= n.cycle {
+		it := c.fifo[0]
+		c.fifo = c.fifo[1:]
+		if c.dstTerm >= 0 {
+			n.terminals[c.dstTerm].receive(n, c, it)
+			continue
+		}
+		if c.tryExpress(n, it) {
+			continue
+		}
+		n.routers[c.dstRouter].receive(n, c.dstPort, it)
+	}
+}
+
+// srcPortOnTerm finds the terminal port index that uses this channel for
+// injection. Channels cache it after first lookup via srcPort.
+func (c *Channel) srcPortOnTerm(n *Network) int {
+	if c.srcPort >= 0 {
+		return c.srcPort
+	}
+	t := n.terminals[c.srcTerm]
+	for i, p := range t.ports {
+		if p.toRouter == c {
+			c.srcPort = i
+			return i
+		}
+	}
+	panic("noc: channel source terminal port not found")
+}
+
+// tryExpress forwards a pass-through flit along the overlay chain if the
+// packet is marked, the chain continues, and continuing moves the flit
+// closer to its destination. Express flits bypass buffering at this router
+// entirely; their buffer-slot credit is returned immediately.
+func (c *Channel) tryExpress(n *Network, it channelItem) bool {
+	pkt := it.f.pkt
+	if !pkt.PassThrough || c.passNext == nil {
+		return false
+	}
+	if it.f.head() {
+		express := c.expressBeneficial(n, pkt) && c.expressing == 0
+		if express {
+			c.expressing++
+		}
+		if c.passState == nil {
+			c.passState = make(map[uint64]bool)
+		}
+		c.passState[pkt.ID] = express
+	}
+	express := c.passState[pkt.ID]
+	if it.f.tail() {
+		delete(c.passState, pkt.ID)
+		if express {
+			c.expressing--
+		}
+	}
+	if !express {
+		return false
+	}
+	// The reserved buffer slot downstream is not used; credit goes back.
+	if !it.f.passChain {
+		c.returnCredit(n, n.cycle, it.vc)
+	}
+	if it.f.head() {
+		pkt.Hops++
+		pkt.passHops++
+	}
+	next := c.passNext
+	f := it.f
+	// Express flits travel on the reserved top VC of their class so they
+	// never interleave with switched packets inside a downstream VC queue.
+	// A flit may only bypass the hold queue when it is empty; otherwise it
+	// would overtake earlier held flits and reorder the packet stream.
+	vc := n.reservedVC(pkt.Class)
+	if len(next.holdQ) == 0 && next.canSend(n.cycle) {
+		next.sendPass(n.cycle, f, vc, int64(n.cfg.PassThrough+n.cfg.WireCycles))
+	} else {
+		f.passChain = true
+		next.holdQ = append(next.holdQ, channelItem{f: f, vc: vc})
+	}
+	return true
+}
+
+func (c *Channel) expressBeneficial(_ *Network, pkt *Packet) bool {
+	if pkt.DstRouter >= 0 {
+		return pkt.DstRouter != c.dstRouter && c.passRouters[pkt.DstRouter]
+	}
+	return pkt.DstTerm == c.passTerm
+}

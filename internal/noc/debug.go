@@ -1,0 +1,63 @@
+package noc
+
+import (
+	"fmt"
+	"io"
+)
+
+// DumpState writes a human-readable snapshot of all in-flight network state
+// to w: buffered flits per router input VC, channel occupancy, hold queues
+// and terminal injection queues. It is a diagnostic aid for stalled
+// simulations.
+func (n *Network) DumpState(w io.Writer) {
+	fmt.Fprintf(w, "cycle=%d active=%d\n", n.cycle, n.active)
+	for _, r := range n.routers {
+		ports := r.allPorts()
+		for pi, p := range ports {
+			for vi := range p.vcs {
+				vc := &p.vcs[vi]
+				if len(vc.q) == 0 && !vc.active {
+					continue
+				}
+				label := fmt.Sprintf("in%d", pi)
+				if pi == len(ports)-1 {
+					label = "NI"
+				}
+				fmt.Fprintf(w, "router %d %s vc%d: %d flits active=%v outPort=%d outVC=%d",
+					r.id, label, vi, len(vc.q), vc.active, vc.outPort, vc.outVC)
+				if len(vc.q) > 0 {
+					f := vc.q[0]
+					fmt.Fprintf(w, " front{pkt=%d idx=%d/%d ready=%d elastic=%v}",
+						f.f.pkt.ID, f.f.idx, f.f.pkt.Size, f.f.readyCycle, f.elastic)
+				}
+				if vc.active && vc.outPort >= 0 {
+					fmt.Fprintf(w, " credits[outVC]=%d vcBusy=%v",
+						r.out[vc.outPort].credits[vc.outVC], r.out[vc.outPort].vcBusy[vc.outVC])
+				}
+				fmt.Fprintln(w)
+			}
+		}
+	}
+	for _, c := range n.channels {
+		if len(c.fifo) == 0 && len(c.holdQ) == 0 && c.expressing == 0 && len(c.passState) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "channel %d (%d/%d->%d/%d): fifo=%d hold=%d expressing=%d passState=%d\n",
+			c.index, c.srcRouter, c.srcTerm, c.dstRouter, c.dstTerm,
+			len(c.fifo), len(c.holdQ), c.expressing, len(c.passState))
+	}
+	for _, t := range n.terminals {
+		for i, p := range t.ports {
+			if p.cur == nil && len(p.q) == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "terminal %d port %d: queued=%d", t.id, i, len(p.q))
+			if p.cur != nil {
+				fmt.Fprintf(w, " cur{pkt=%d flit=%d/%d}", p.cur.ID, p.curFlit, p.cur.Size)
+				vc := n.vcIndex(p.cur)
+				fmt.Fprintf(w, " credits[vc%d]=%d", vc, p.credits[vc])
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}

@@ -1,0 +1,288 @@
+package noc
+
+// ejectPort is the virtual output for packets whose destination is this
+// router (delivery into the HMC's vault controllers).
+const ejectPort = -2
+
+type bufFlit struct {
+	f       flit
+	elastic bool // arrived via pass-through express: no credit was reserved
+}
+
+type inVC struct {
+	q       []bufFlit
+	active  bool
+	outPort int
+	outVC   int
+}
+
+type inPort struct {
+	ch  *Channel // incoming channel; nil for the local (NI) port
+	vcs []inVC
+}
+
+type outPort struct {
+	ch      *Channel
+	peer    peerKind
+	peerID  int
+	credits []int
+	vcBusy  []bool
+	rr      int
+}
+
+// Router models the HMC logic-layer switch: a virtual-channel router with a
+// fixed pipeline depth, separable allocation, and credit-based wormhole
+// flow control. A router is also a memory endpoint: packets destined to it
+// are ejected into the RouterSink (the vault controllers), and responses
+// enter through its network interface (NI) input port.
+type Router struct {
+	id  int
+	net *Network
+
+	in  []*inPort
+	out []*outPort
+	ni  *inPort
+
+	used []bool // per (input port + NI) single-read-per-cycle gate
+
+	niSerial int64 // next free NI injection cycle (1 flit/cycle)
+
+	// adaptive selects the least-congested among minimal output ports
+	// instead of a deterministic hash (intra-cluster adaptive routing of
+	// Section VI-B1).
+	adaptive bool
+}
+
+func newRouter(n *Network, id int) *Router {
+	r := &Router{id: id, net: n}
+	r.ni = &inPort{vcs: make([]inVC, n.totalVCs())}
+	return r
+}
+
+// ID returns the router's index.
+func (r *Router) ID() int { return r.id }
+
+// Degree returns the number of channel ports (router- and terminal-facing).
+func (r *Router) Degree() int { return len(r.out) }
+
+// SetAdaptive enables credit-based adaptive output selection on this
+// router's minimal route choices.
+func (r *Router) SetAdaptive(on bool) { r.adaptive = on }
+
+// addPort creates a paired input/output port. out carries flits away from
+// the router, in brings flits to it.
+func (r *Router) addPort(out, in *Channel, peer peerKind, peerID int) int {
+	idx := len(r.out)
+	cr := make([]int, r.net.totalVCs())
+	for i := range cr {
+		cr[i] = r.net.cfg.BufFlitsPerVC
+	}
+	r.out = append(r.out, &outPort{ch: out, peer: peer, peerID: peerID,
+		credits: cr, vcBusy: make([]bool, r.net.totalVCs())})
+	r.in = append(r.in, &inPort{ch: in, vcs: make([]inVC, r.net.totalVCs())})
+	return idx
+}
+
+// receive buffers an arriving flit into the input VC it travelled on.
+func (r *Router) receive(n *Network, port int, it channelItem) {
+	f := it.f
+	f.readyCycle = n.cycle + int64(n.cfg.RouterPipeline)
+	p := r.in[port]
+	p.vcs[it.vc].q = append(p.vcs[it.vc].q, bufFlit{f: f, elastic: it.f.passChain})
+}
+
+// enqueueLocal injects a locally generated packet (an HMC response) through
+// the router's network interface.
+func (r *Router) enqueueLocal(pkt *Packet) {
+	vc := r.net.vcIndex(pkt)
+	start := r.net.cycle + 1
+	if r.niSerial > start {
+		start = r.niSerial
+	}
+	for i := 0; i < pkt.Size; i++ {
+		f := flit{pkt: pkt, idx: i, readyCycle: start + int64(i)}
+		r.ni.vcs[vc].q = append(r.ni.vcs[vc].q, bufFlit{f: f, elastic: true})
+	}
+	r.niSerial = start + int64(pkt.Size)
+}
+
+// allPorts iterates input ports with the NI port last.
+func (r *Router) allPorts() []*inPort {
+	ports := make([]*inPort, 0, len(r.in)+1)
+	ports = append(ports, r.in...)
+	return append(ports, r.ni)
+}
+
+// switchTraversal performs ejection and switch allocation/traversal for one
+// cycle: at most one flit leaves each input port, one flit enters each
+// output channel, and ejection consumes up to EjectPerCycle flits.
+func (r *Router) switchTraversal(n *Network) {
+	nPorts := len(r.in) + 1
+	if cap(r.used) < nPorts {
+		r.used = make([]bool, nPorts)
+	}
+	used := r.used[:nPorts]
+	for i := range used {
+		used[i] = false
+	}
+	ports := r.allPorts()
+
+	// Ejection.
+	budget := n.cfg.EjectPerCycle
+	for pi, p := range ports {
+		if budget == 0 {
+			break
+		}
+		if used[pi] {
+			continue
+		}
+		for vi := range p.vcs {
+			vc := &p.vcs[vi]
+			if !vc.active || vc.outPort != ejectPort || len(vc.q) == 0 {
+				continue
+			}
+			bf := vc.q[0]
+			if bf.f.readyCycle > n.cycle {
+				continue
+			}
+			vc.q = vc.q[1:]
+			used[pi] = true
+			budget--
+			if !bf.elastic && p.ch != nil {
+				p.ch.returnCredit(n, n.cycle, vi)
+			}
+			if bf.f.tail() {
+				vc.active = false
+				n.deliverToSink(r.id, bf.f.pkt)
+			}
+			break // one flit per input port per cycle
+		}
+	}
+
+	// Switch allocation per output port, round-robin over (port, vc).
+	total := nPorts * n.totalVCs()
+	for oi, op := range r.out {
+		if !op.ch.canSend(n.cycle) {
+			continue
+		}
+		for k := 0; k < total; k++ {
+			idx := (op.rr + k) % total
+			pi := idx / n.totalVCs()
+			vi := idx % n.totalVCs()
+			if used[pi] {
+				continue
+			}
+			vc := &ports[pi].vcs[vi]
+			if !vc.active || vc.outPort != oi || len(vc.q) == 0 {
+				continue
+			}
+			bf := vc.q[0]
+			if bf.f.readyCycle > n.cycle || op.credits[vc.outVC] <= 0 {
+				continue
+			}
+			vc.q = vc.q[1:]
+			used[pi] = true
+			if !bf.elastic && ports[pi].ch != nil {
+				ports[pi].ch.returnCredit(n, n.cycle, vi)
+			}
+			if bf.f.head() && op.peer == peerRouter {
+				bf.f.pkt.Hops++
+			}
+			op.credits[vc.outVC]--
+			f := bf.f
+			f.passChain = false
+			op.ch.send(n.cycle, f, vc.outVC)
+			if bf.f.tail() {
+				vc.active = false
+				op.vcBusy[vc.outVC] = false
+			}
+			op.rr = (idx + 1) % total
+			break
+		}
+	}
+}
+
+// allocate performs route computation and VC allocation for input VCs whose
+// head flit reached the front of its buffer.
+func (r *Router) allocate(n *Network) {
+	ports := r.allPorts()
+	offset := int(n.cycle) % len(ports) // rotate priority across cycles
+	for i := range ports {
+		p := ports[(i+offset)%len(ports)]
+		for vi := range p.vcs {
+			vc := &p.vcs[vi]
+			if vc.active || len(vc.q) == 0 {
+				continue
+			}
+			bf := vc.q[0]
+			if !bf.f.head() || bf.f.readyCycle > n.cycle {
+				continue
+			}
+			pkt := bf.f.pkt
+			out := r.route(n, pkt)
+			if out == ejectPort {
+				vc.active = true
+				vc.outPort = ejectPort
+				continue
+			}
+			level := pkt.Hops + 1
+			if m := n.maxLevel(); level > m {
+				level = m
+			}
+			outVC := pkt.Class*n.cfg.VCsPerClass + level
+			op := r.out[out]
+			if op.vcBusy[outVC] {
+				continue // output VC held by another packet; retry next cycle
+			}
+			op.vcBusy[outVC] = true
+			vc.active = true
+			vc.outPort = out
+			vc.outVC = outVC
+		}
+	}
+}
+
+// route computes the output port for pkt at this router.
+func (r *Router) route(n *Network, pkt *Packet) int {
+	if pkt.Inter >= 0 && !pkt.InterDone {
+		if pkt.Inter == r.id {
+			pkt.InterDone = true
+		} else {
+			return r.pick(n, pkt, n.routes.portsToRouter(r.id, pkt.Inter))
+		}
+	}
+	if pkt.DstRouter >= 0 {
+		if pkt.DstRouter == r.id {
+			return ejectPort
+		}
+		return r.pick(n, pkt, n.routes.portsToRouter(r.id, pkt.DstRouter))
+	}
+	return r.pick(n, pkt, n.routes.portsToTerm(r.id, pkt.DstTerm))
+}
+
+func (r *Router) pick(n *Network, pkt *Packet, ports []int) int {
+	if len(ports) == 0 {
+		panic("noc: no route from router to destination")
+	}
+	if len(ports) == 1 {
+		return ports[0]
+	}
+	if r.adaptive {
+		// Choose the output with the most downstream credit at the VC
+		// level the packet will use.
+		level := pkt.Hops + 1
+		if m := n.maxLevel(); level > m {
+			level = m
+		}
+		outVC := pkt.Class*n.cfg.VCsPerClass + level
+		best, bestCr := ports[0], -1
+		for _, p := range ports {
+			if cr := r.out[p].credits[outVC]; cr > bestCr {
+				best, bestCr = p, cr
+			}
+		}
+		return best
+	}
+	h := pkt.ID*2654435761 + uint64(r.id)*40503
+	return ports[h%uint64(len(ports))]
+}

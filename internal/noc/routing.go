@@ -1,0 +1,215 @@
+package noc
+
+// routeTable holds all-pairs minimal-routing state: distances and the set
+// of minimal output ports from every router toward every router and
+// terminal. Multiple minimal ports express path diversity; deterministic
+// hashing or adaptive selection picks among them per packet.
+type routeTable struct {
+	nR, nT int
+	dR     []int32 // [r*nR+d] hops from router r to router d; -1 unreachable
+	pR     [][]int // [r*nR+d] minimal output ports
+	dT     []int32 // [r*nT+t] hops from router r to terminal t
+	pT     [][]int
+}
+
+func (rt *routeTable) distToRouter(r, d int) int { return int(rt.dR[r*rt.nR+d]) }
+func (rt *routeTable) distToTerm(r, t int) int   { return int(rt.dT[r*rt.nT+t]) }
+
+func (rt *routeTable) portsToRouter(r, d int) []int { return rt.pR[r*rt.nR+d] }
+func (rt *routeTable) portsToTerm(r, t int) []int   { return rt.pT[r*rt.nT+t] }
+
+// buildRoutes computes BFS shortest-path tables over the router graph.
+func buildRoutes(n *Network) (*routeTable, error) {
+	nR := len(n.routers)
+	nT := len(n.terminals)
+	rt := &routeTable{
+		nR: nR, nT: nT,
+		dR: make([]int32, nR*nR),
+		pR: make([][]int, nR*nR),
+		dT: make([]int32, nR*nT),
+		pT: make([][]int, nR*nT),
+	}
+	// adjacency: for each router, its router-facing ports and peers.
+	type edge struct{ port, peer int }
+	adj := make([][]edge, nR)
+	for r, router := range n.routers {
+		for pi, op := range router.out {
+			if op.peer == peerRouter {
+				adj[r] = append(adj[r], edge{port: pi, peer: op.peerID})
+			}
+		}
+	}
+	// Reverse adjacency for BFS from each destination.
+	radj := make([][]int, nR)
+	for r := range adj {
+		for _, e := range adj[r] {
+			radj[e.peer] = append(radj[e.peer], r)
+		}
+	}
+	dist := make([]int32, nR)
+	queue := make([]int, 0, nR)
+	for d := 0; d < nR; d++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[d] = 0
+		queue = append(queue[:0], d)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, u := range radj[v] {
+				if dist[u] == -1 {
+					dist[u] = dist[v] + 1
+					queue = append(queue, u)
+				}
+			}
+		}
+		for r := 0; r < nR; r++ {
+			rt.dR[r*nR+d] = dist[r]
+			if r == d || dist[r] <= 0 {
+				continue
+			}
+			var ports []int
+			for _, e := range adj[r] {
+				if dist[e.peer] == dist[r]-1 {
+					ports = append(ports, e.port)
+				}
+			}
+			rt.pR[r*nR+d] = ports
+		}
+	}
+	// Terminals: distance 1 from attached routers, otherwise via the
+	// nearest attachment.
+	for t, term := range n.terminals {
+		// Attachment routers in ascending router order for determinism.
+		var attachedRouters []int
+		attachedPorts := make(map[int][]int)
+		for _, router := range n.routers {
+			for pi, op := range router.out {
+				if op.peer == peerTerminal && op.peerID == term.id {
+					if len(attachedPorts[router.id]) == 0 {
+						attachedRouters = append(attachedRouters, router.id)
+					}
+					attachedPorts[router.id] = append(attachedPorts[router.id], pi)
+				}
+			}
+		}
+		for r := 0; r < nR; r++ {
+			if ports, ok := attachedPorts[r]; ok {
+				rt.dT[r*nT+t] = 1
+				rt.pT[r*nT+t] = ports
+				continue
+			}
+			best := int32(-1)
+			for _, a := range attachedRouters {
+				d := rt.dR[r*nR+a]
+				if d < 0 {
+					continue
+				}
+				if best == -1 || d < best {
+					best = d
+				}
+			}
+			if best == -1 {
+				rt.dT[r*nT+t] = -1
+				continue
+			}
+			rt.dT[r*nT+t] = best + 1
+			var ports []int
+			for _, a := range attachedRouters {
+				if rt.dR[r*nR+a] == best {
+					ports = append(ports, rt.pR[r*nR+a]...)
+				}
+			}
+			rt.pT[r*nT+t] = dedupInts(ports)
+		}
+	}
+	return rt, nil
+}
+
+func dedupInts(xs []int) []int {
+	seen := make(map[int]bool, len(xs))
+	out := xs[:0]
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// DesignatePassChain links a sequence of channels into an overlay
+// pass-through chain (Section V-C): a PassThrough packet arriving on
+// chain[i] is forwarded onto chain[i+1] with PassThrough latency, bypassing
+// the router pipeline, whenever its destination lies further down the
+// chain. The first channel may be a terminal-to-router channel (the CPU's
+// injection link) and the last may be a router-to-terminal channel (the
+// CPU's return link).
+func (n *Network) DesignatePassChain(chain []int) {
+	// Walk backward accumulating the downstream reachable set.
+	downRouters := make(map[int]bool)
+	downTerm := -1
+	if last := n.channels[chain[len(chain)-1]]; last.dstTerm >= 0 {
+		downTerm = last.dstTerm
+	}
+	for i := len(chain) - 1; i >= 0; i-- {
+		c := n.channels[chain[i]]
+		if c.dstRouter >= 0 {
+			downRouters[c.dstRouter] = true
+		}
+		if i+1 < len(chain) {
+			c.passNext = n.channels[chain[i+1]]
+		}
+		// Downstream set excludes this channel's own destination (a
+		// packet for it must stop here), so snapshot before adding.
+		set := make(map[int]bool, len(downRouters))
+		for r := range downRouters {
+			set[r] = true
+		}
+		c.passRouters = set
+		c.passTerm = downTerm
+	}
+}
+
+// SetAdaptiveAll toggles adaptive minimal-port selection on every router.
+func (n *Network) SetAdaptiveAll(on bool) {
+	for _, r := range n.routers {
+		r.adaptive = on
+	}
+}
+
+// MeanMinHops returns the average over all router pairs of the minimal hop
+// count, a static topology quality metric.
+func (n *Network) MeanMinHops() float64 {
+	if n.routes == nil {
+		return 0
+	}
+	var sum, cnt int64
+	for r := 0; r < n.routes.nR; r++ {
+		for d := 0; d < n.routes.nR; d++ {
+			if r == d {
+				continue
+			}
+			h := n.routes.distToRouter(r, d)
+			if h > 0 {
+				sum += int64(h)
+				cnt++
+			}
+		}
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return float64(sum) / float64(cnt)
+}
+
+// DistRouterToRouter exposes minimal hop distance for tests and tools.
+func (n *Network) DistRouterToRouter(r, d int) int {
+	return n.routes.distToRouter(r, d)
+}
+
+// DistRouterToTerm exposes minimal router-to-terminal distance.
+func (n *Network) DistRouterToTerm(r, t int) int {
+	return n.routes.distToTerm(r, t)
+}

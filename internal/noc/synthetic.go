@@ -1,0 +1,193 @@
+package noc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"memnet/internal/sim"
+)
+
+// TrafficPattern selects a synthetic destination distribution for the
+// standalone network evaluation (the BookSim-style load sweep used to
+// characterize topologies independent of workloads).
+type TrafficPattern int
+
+// Synthetic traffic patterns.
+const (
+	// UniformRandom sends every packet to a uniformly random HMC — the
+	// pattern Section V-A observes for data-parallel workloads.
+	UniformRandom TrafficPattern = iota
+	// Permutation fixes one destination cluster per source (shifted by
+	// one), stressing inter-cluster channels.
+	Permutation
+	// HotSpot sends half the traffic to a single HMC, the rest uniformly
+	// — the CG.S-like imbalanced case.
+	HotSpot
+)
+
+func (p TrafficPattern) String() string {
+	switch p {
+	case UniformRandom:
+		return "uniform"
+	case Permutation:
+		return "permutation"
+	case HotSpot:
+		return "hotspot"
+	}
+	return fmt.Sprintf("TrafficPattern(%d)", int(p))
+}
+
+// LoadPoint is one measurement of a load sweep.
+type LoadPoint struct {
+	// InjectionRate is the offered load in flits per terminal per cycle.
+	InjectionRate float64
+	// AvgLatency is the mean round-trip latency (request injection to
+	// response delivery) in network cycles.
+	AvgLatency float64
+	// Throughput is accepted flits per terminal per cycle.
+	Throughput float64
+	// AvgHops is the mean hop count.
+	AvgHops float64
+}
+
+// SyntheticConfig drives RunSynthetic.
+type SyntheticConfig struct {
+	Pattern     TrafficPattern
+	ReqFlits    int   // flits per request packet (1 = read request)
+	RespFlits   int   // flits per response (9 = 128B line)
+	WarmupCyc   int64 // cycles before measurement starts
+	MeasureCyc  int64 // measured window
+	DrainCycMax int64 // post-window drain bound
+	Seed        int64
+}
+
+// DefaultSyntheticConfig returns a read-request sweep setup.
+func DefaultSyntheticConfig() SyntheticConfig {
+	return SyntheticConfig{
+		Pattern:     UniformRandom,
+		ReqFlits:    1,
+		RespFlits:   9,
+		WarmupCyc:   2000,
+		MeasureCyc:  8000,
+		DrainCycMax: 200000,
+		Seed:        7,
+	}
+}
+
+// RunSynthetic drives open-loop synthetic traffic through a freshly built
+// topology at the given injection rate (flits/terminal/cycle of *request*
+// traffic) and measures latency and accepted throughput. Each request is
+// answered by the destination HMC with a response packet, so the network
+// carries both message classes as in the real system.
+func RunSynthetic(spec TopoSpec, netCfg Config, syn SyntheticConfig, injectionRate float64) (LoadPoint, error) {
+	eng := sim.NewEngine()
+	b, err := BuildTopology(eng, netCfg, spec)
+	if err != nil {
+		return LoadPoint{}, err
+	}
+	n := b.Net
+	rng := rand.New(rand.NewSource(syn.Seed))
+
+	var measuredLat, measuredHops float64
+	var measuredPkts, acceptedFlits int64
+	measuring := false
+
+	n.RouterSink = func(r int, pkt *Packet) {
+		resp := NewResponse(0, r, pkt.SrcTerm, syn.RespFlits)
+		resp.Payload = pkt // carry the request for round-trip accounting
+		n.Send(resp)
+		if measuring {
+			acceptedFlits += int64(pkt.Size)
+		}
+	}
+	for i := 0; i < n.NumTerminals(); i++ {
+		n.Terminal(i).OnDeliver = func(resp *Packet) {
+			req := resp.Payload.(*Packet)
+			if !measuring {
+				return
+			}
+			measuredPkts++
+			measuredLat += float64(resp.DeliveredAt-req.CreatedAt) / float64(n.Clock().Period())
+			measuredHops += float64(req.Hops + resp.Hops)
+		}
+	}
+
+	hot := rng.Intn(n.NumRouters())
+	dest := func(src int) int {
+		switch syn.Pattern {
+		case Permutation:
+			c := (src + 1) % spec.Clusters
+			return b.RouterID(c, rng.Intn(spec.LocalPerCluster))
+		case HotSpot:
+			if rng.Intn(2) == 0 {
+				return hot
+			}
+			return rng.Intn(n.NumRouters())
+		default:
+			return rng.Intn(n.NumRouters())
+		}
+	}
+
+	// Bernoulli injection per terminal per cycle, paced by an injector
+	// process per terminal.
+	period := n.Clock().Period()
+	perCycleP := injectionRate / float64(syn.ReqFlits)
+	totalCyc := syn.WarmupCyc + syn.MeasureCyc
+	var inject func(term int, cycle int64)
+	inject = func(term int, cycle int64) {
+		if cycle >= totalCyc {
+			return
+		}
+		if rng.Float64() < perCycleP {
+			n.Send(NewRequest(0, b.Terms[term], dest(term), syn.ReqFlits))
+		}
+		eng.After(period, func() { inject(term, cycle+1) })
+	}
+	for ti := range b.Terms {
+		ti := ti
+		eng.At(sim.Time(ti%7), func() { inject(ti, 0) })
+	}
+	eng.At(sim.Time(syn.WarmupCyc)*period, func() { measuring = true })
+	eng.At(sim.Time(totalCyc)*period, func() { measuring = false })
+	eng.RunUntil(sim.Time(totalCyc+syn.DrainCycMax) * period)
+
+	lp := LoadPoint{InjectionRate: injectionRate}
+	if measuredPkts > 0 {
+		lp.AvgLatency = measuredLat / float64(measuredPkts)
+		lp.AvgHops = measuredHops / float64(measuredPkts)
+	}
+	lp.Throughput = float64(acceptedFlits) / float64(syn.MeasureCyc) / float64(n.NumTerminals())
+	return lp, nil
+}
+
+// LoadSweep runs RunSynthetic over the given injection rates.
+func LoadSweep(spec TopoSpec, netCfg Config, syn SyntheticConfig, rates []float64) ([]LoadPoint, error) {
+	var out []LoadPoint
+	for _, r := range rates {
+		lp, err := RunSynthetic(spec, netCfg, syn, r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}
+
+// SaturationRate estimates the offered load at which latency exceeds
+// latencyLimit network cycles, by sweeping rates until the knee.
+func SaturationRate(spec TopoSpec, netCfg Config, syn SyntheticConfig, latencyLimit float64) (float64, error) {
+	rate := 0.05
+	last := 0.0
+	for rate <= 1.0 {
+		lp, err := RunSynthetic(spec, netCfg, syn, rate)
+		if err != nil {
+			return 0, err
+		}
+		if lp.AvgLatency > latencyLimit || lp.AvgLatency == 0 {
+			return last, nil
+		}
+		last = rate
+		rate += 0.05
+	}
+	return last, nil
+}

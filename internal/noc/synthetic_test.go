@@ -1,0 +1,125 @@
+package noc
+
+import "testing"
+
+func synSpec(kind TopoKind) TopoSpec {
+	return TopoSpec{Kind: kind, Clusters: 4, LocalPerCluster: 4, TermChannels: 8, CPUCluster: -1}
+}
+
+func TestSyntheticLowLoadLatencyNearZeroLoad(t *testing.T) {
+	syn := DefaultSyntheticConfig()
+	lp, err := RunSynthetic(synSpec(TopoSFBFLY), DefaultConfig(), syn, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp.AvgLatency <= 0 {
+		t.Fatal("no packets measured at low load")
+	}
+	// Zero-load request latency on sFBFLY: injection serialization +
+	// ~1-2 channel traversals + pipeline; must be modest.
+	if lp.AvgLatency > 60 {
+		t.Fatalf("low-load latency = %.1f cycles, implausibly high", lp.AvgLatency)
+	}
+	if lp.Throughput <= 0 {
+		t.Fatal("no accepted throughput")
+	}
+}
+
+func TestSyntheticLatencyGrowsWithLoad(t *testing.T) {
+	syn := DefaultSyntheticConfig()
+	pts, err := LoadSweep(synSpec(TopoSFBFLY), DefaultConfig(), syn, []float64{0.05, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[1].AvgLatency <= pts[0].AvgLatency {
+		t.Fatalf("latency at 0.5 (%.1f) not above 0.05 (%.1f)",
+			pts[1].AvgLatency, pts[0].AvgLatency)
+	}
+}
+
+func TestSyntheticThroughputTracksOfferedLoadBelowSaturation(t *testing.T) {
+	syn := DefaultSyntheticConfig()
+	lp, err := RunSynthetic(synSpec(TopoSFBFLY), DefaultConfig(), syn, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Accepted request throughput should be near the offered 0.2
+	// flits/terminal/cycle (within stochastic noise).
+	if lp.Throughput < 0.15 || lp.Throughput > 0.25 {
+		t.Fatalf("throughput = %.3f, want ~0.2", lp.Throughput)
+	}
+}
+
+func TestSyntheticSFBFLYBeatsSMESHUnderUniform(t *testing.T) {
+	syn := DefaultSyntheticConfig()
+	fb, err := RunSynthetic(synSpec(TopoSFBFLY), DefaultConfig(), syn, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := RunSynthetic(synSpec(TopoSMESH), DefaultConfig(), syn, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb.AvgLatency >= ms.AvgLatency {
+		t.Fatalf("sFBFLY latency %.1f not below sMESH %.1f at 0.3 load",
+			fb.AvgLatency, ms.AvgLatency)
+	}
+	if fb.AvgHops > ms.AvgHops {
+		t.Fatalf("sFBFLY hops %.2f above sMESH %.2f", fb.AvgHops, ms.AvgHops)
+	}
+}
+
+func TestSyntheticHotspotWorseThanUniform(t *testing.T) {
+	syn := DefaultSyntheticConfig()
+	uni, err := RunSynthetic(synSpec(TopoSFBFLY), DefaultConfig(), syn, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn.Pattern = HotSpot
+	hot, err := RunSynthetic(synSpec(TopoSFBFLY), DefaultConfig(), syn, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot.AvgLatency <= uni.AvgLatency {
+		t.Fatalf("hotspot latency %.1f not above uniform %.1f", hot.AvgLatency, uni.AvgLatency)
+	}
+}
+
+func TestSyntheticPermutationPattern(t *testing.T) {
+	syn := DefaultSyntheticConfig()
+	syn.Pattern = Permutation
+	lp, err := RunSynthetic(synSpec(TopoSFBFLY), DefaultConfig(), syn, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every packet crosses clusters: exactly one slice hop on sFBFLY.
+	if lp.AvgHops < 0.99 {
+		t.Fatalf("permutation hops = %.2f, want ~1 (all remote)", lp.AvgHops)
+	}
+}
+
+func TestSaturationRateOrdering(t *testing.T) {
+	syn := DefaultSyntheticConfig()
+	syn.MeasureCyc = 4000 // keep the sweep fast
+	fb, err := SaturationRate(synSpec(TopoSFBFLY), DefaultConfig(), syn, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := SaturationRate(synSpec(TopoSMESH), DefaultConfig(), syn, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb < ms {
+		t.Fatalf("sFBFLY saturates at %.2f, below sMESH %.2f", fb, ms)
+	}
+	if fb <= 0 {
+		t.Fatal("sFBFLY saturation rate not found")
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	if UniformRandom.String() != "uniform" || HotSpot.String() != "hotspot" ||
+		Permutation.String() != "permutation" {
+		t.Fatal("pattern names wrong")
+	}
+}

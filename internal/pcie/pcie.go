@@ -1,0 +1,138 @@
+// Package pcie models the conventional multi-GPU interconnect: a PCIe
+// switch in a star topology connecting the host CPU and the discrete GPUs
+// (Fig. 1a of the paper). Each endpoint has one x16 PCIe v3.0 link of
+// 15.75 GB/s per direction (Section VI-A).
+//
+// Two traffic types share the links: bulk DMA (cudaMemcpy) and fine-grained
+// remote accesses (UVA peer-to-peer loads/stores and zero-copy host-memory
+// accesses). Each transfer serializes on the source's upstream link and the
+// destination's downstream link, plus per-TLP header overhead and a fixed
+// propagation latency.
+package pcie
+
+import (
+	"fmt"
+
+	"memnet/internal/sim"
+	"memnet/internal/stats"
+)
+
+// Config describes the fabric.
+type Config struct {
+	BytesPerSec   float64  // per direction per link (15.75 GB/s)
+	Latency       sim.Time // end-to-end propagation + switch latency
+	TLPHeader     int      // header bytes added to each transfer's payload
+	MaxPayload    int      // payload bytes per TLP (transfers are chunked)
+	SwitchLatency sim.Time // additional latency when crossing the switch
+}
+
+// DefaultConfig returns 16-lane PCIe v3.0 parameters.
+func DefaultConfig() Config {
+	return Config{
+		BytesPerSec:   15.75e9,
+		Latency:       500 * sim.Nanosecond,
+		TLPHeader:     24,
+		MaxPayload:    256,
+		SwitchLatency: 100 * sim.Nanosecond,
+	}
+}
+
+// Stats aggregates fabric activity.
+type Stats struct {
+	Transfers  stats.Counter
+	Bytes      stats.Counter // payload bytes moved
+	WireBytes  stats.Counter // payload + TLP headers
+	Latency    stats.Mean    // per-transfer completion latency (ps)
+	LinkBusyPS stats.Counter // total link-busy picoseconds across links
+}
+
+type port struct {
+	name     string
+	upFree   sim.Time // next free time of the endpoint->switch direction
+	downFree sim.Time // next free time of the switch->endpoint direction
+}
+
+// Fabric is one PCIe switch with its endpoint links.
+type Fabric struct {
+	eng   *sim.Engine
+	cfg   Config
+	ports []*port
+
+	Stats Stats
+}
+
+// New creates an empty fabric.
+func New(eng *sim.Engine, cfg Config) *Fabric {
+	return &Fabric{eng: eng, cfg: cfg}
+}
+
+// Config returns the fabric parameters.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// AddEndpoint attaches an endpoint (CPU or GPU) and returns its port ID.
+func (f *Fabric) AddEndpoint(name string) int {
+	f.ports = append(f.ports, &port{name: name})
+	return len(f.ports) - 1
+}
+
+// NumEndpoints returns the endpoint count.
+func (f *Fabric) NumEndpoints() int { return len(f.ports) }
+
+// wireTime returns the serialization time of n payload bytes including TLP
+// header overhead.
+func (f *Fabric) wireTime(n int64) (sim.Time, int64) {
+	if n <= 0 {
+		return 0, 0
+	}
+	mp := int64(f.cfg.MaxPayload)
+	tlps := (n + mp - 1) / mp
+	wire := n + tlps*int64(f.cfg.TLPHeader)
+	ps := float64(wire) / f.cfg.BytesPerSec * 1e12
+	return sim.Time(ps), wire
+}
+
+// Send moves n payload bytes from endpoint src to endpoint dst and calls
+// done when the last byte arrives. Transfers on the same links serialize in
+// FIFO order; different link pairs proceed in parallel.
+func (f *Fabric) Send(src, dst int, n int64, done func()) {
+	if src == dst {
+		panic("pcie: transfer to self")
+	}
+	if src < 0 || src >= len(f.ports) || dst < 0 || dst >= len(f.ports) {
+		panic(fmt.Sprintf("pcie: endpoint out of range (%d -> %d)", src, dst))
+	}
+	now := f.eng.Now()
+	ser, wire := f.wireTime(n)
+	s, d := f.ports[src], f.ports[dst]
+	start := now
+	if s.upFree > start {
+		start = s.upFree
+	}
+	if d.downFree > start {
+		start = d.downFree
+	}
+	end := start + ser
+	s.upFree = end
+	d.downFree = end
+	f.Stats.Transfers.Inc()
+	f.Stats.Bytes.Add(n)
+	f.Stats.WireBytes.Add(wire)
+	f.Stats.LinkBusyPS.Add(2 * int64(ser))
+	complete := end + f.cfg.Latency + f.cfg.SwitchLatency
+	f.Stats.Latency.Add(float64(complete - now))
+	if done != nil {
+		f.eng.At(complete, done)
+	}
+}
+
+// RoundTrip issues a request of reqBytes from src to dst and, after the
+// destination's service callback yields, a response of respBytes back. The
+// service function receives a completion callback it must invoke when the
+// remote operation (e.g. the remote GPU's memory access) finishes.
+func (f *Fabric) RoundTrip(src, dst int, reqBytes, respBytes int64, service func(done func()), done func()) {
+	f.Send(src, dst, reqBytes, func() {
+		service(func() {
+			f.Send(dst, src, respBytes, done)
+		})
+	})
+}

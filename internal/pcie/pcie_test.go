@@ -1,0 +1,130 @@
+package pcie
+
+import (
+	"testing"
+
+	"memnet/internal/sim"
+)
+
+func newFabric(t *testing.T, eps int) (*sim.Engine, *Fabric, []int) {
+	t.Helper()
+	eng := sim.NewEngine()
+	f := New(eng, DefaultConfig())
+	ids := make([]int, eps)
+	for i := range ids {
+		ids[i] = f.AddEndpoint("ep")
+	}
+	return eng, f, ids
+}
+
+func TestTransferTimeMatchesBandwidth(t *testing.T) {
+	eng, f, ids := newFabric(t, 2)
+	var doneAt sim.Time
+	var n int64 = 64 << 20 // 64 MB
+	f.Send(ids[0], ids[1], n, func() { doneAt = eng.Now() })
+	eng.Run()
+	// 64MB at 15.75 GB/s ~= 4.26 ms, plus ~10% TLP overhead.
+	min := sim.Time(float64(int64(n)) / 15.75e9 * 1e12)
+	max := min + min/8 + sim.Time(2*sim.Microsecond)
+	if doneAt < min || doneAt > max {
+		t.Fatalf("64MB transfer took %d ps, want in [%d, %d]", doneAt, min, max)
+	}
+}
+
+func TestSmallTransferDominatedByLatency(t *testing.T) {
+	eng, f, ids := newFabric(t, 2)
+	var doneAt sim.Time
+	f.Send(ids[0], ids[1], 128, func() { doneAt = eng.Now() })
+	eng.Run()
+	cfg := DefaultConfig()
+	if doneAt < cfg.Latency+cfg.SwitchLatency {
+		t.Fatalf("latency %d below propagation floor", doneAt)
+	}
+	if doneAt > cfg.Latency+cfg.SwitchLatency+sim.Time(100*sim.Nanosecond) {
+		t.Fatalf("small transfer too slow: %d ps", doneAt)
+	}
+}
+
+func TestSameLinkSerializes(t *testing.T) {
+	eng, f, ids := newFabric(t, 3)
+	var t1, t2 sim.Time
+	const n = 1 << 20
+	f.Send(ids[0], ids[1], n, func() { t1 = eng.Now() })
+	f.Send(ids[0], ids[2], n, func() { t2 = eng.Now() }) // shares 0's uplink
+	eng.Run()
+	ser := t1 - DefaultConfig().Latency - DefaultConfig().SwitchLatency
+	if t2-t1 < ser/2 {
+		t.Fatalf("second transfer (%d) not serialized behind first (%d)", t2, t1)
+	}
+}
+
+func TestDisjointLinksParallel(t *testing.T) {
+	eng, f, ids := newFabric(t, 4)
+	var t1, t2 sim.Time
+	const n = 1 << 20
+	f.Send(ids[0], ids[1], n, func() { t1 = eng.Now() })
+	f.Send(ids[2], ids[3], n, func() { t2 = eng.Now() })
+	eng.Run()
+	if t1 != t2 {
+		t.Fatalf("disjoint transfers should complete together: %d vs %d", t1, t2)
+	}
+}
+
+func TestRoundTripVisitsRemote(t *testing.T) {
+	eng, f, ids := newFabric(t, 2)
+	var served bool
+	var doneAt sim.Time
+	f.RoundTrip(ids[0], ids[1], 32, 128, func(done func()) {
+		served = true
+		eng.After(10*sim.Nanosecond, done) // remote memory access time
+	}, func() { doneAt = eng.Now() })
+	eng.Run()
+	if !served {
+		t.Fatal("service callback never ran")
+	}
+	// Two propagation delays plus remote service.
+	min := 2*(DefaultConfig().Latency+DefaultConfig().SwitchLatency) + 10*sim.Nanosecond
+	if doneAt < min {
+		t.Fatalf("round trip %d ps below floor %d", doneAt, min)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	eng, f, ids := newFabric(t, 2)
+	f.Send(ids[0], ids[1], 1000, nil)
+	eng.Run()
+	if f.Stats.Transfers.Value() != 1 || f.Stats.Bytes.Value() != 1000 {
+		t.Fatal("transfer stats wrong")
+	}
+	if f.Stats.WireBytes.Value() <= 1000 {
+		t.Fatal("wire bytes must include TLP headers")
+	}
+}
+
+func TestBadEndpointsPanic(t *testing.T) {
+	_, f, ids := newFabric(t, 2)
+	for _, fn := range []func(){
+		func() { f.Send(ids[0], ids[0], 10, nil) },
+		func() { f.Send(ids[0], 99, 10, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestZeroByteTransferCompletesImmediately(t *testing.T) {
+	eng, f, ids := newFabric(t, 2)
+	var doneAt sim.Time
+	f.Send(ids[0], ids[1], 0, func() { doneAt = eng.Now() })
+	eng.Run()
+	want := DefaultConfig().Latency + DefaultConfig().SwitchLatency
+	if doneAt != want {
+		t.Fatalf("zero-byte transfer at %d, want %d", doneAt, want)
+	}
+}

@@ -1,0 +1,197 @@
+// Package sim provides the discrete-event simulation kernel used by every
+// timing model in this repository (HMC vaults, network routers, GPU cores,
+// the CPU and the PCIe fabric).
+//
+// Time is a global integer picosecond count. Components in different clock
+// domains (the GPU core at 1400 MHz, the network at 1.25 GHz, the CPU at
+// 4 GHz, DRAM at 800 MHz) schedule themselves on the same engine by
+// converting their local cycle counts to picoseconds through a Clock.
+//
+// The engine is strictly deterministic: events at the same timestamp run in
+// the order they were scheduled.
+package sim
+
+import "container/heap"
+
+// Time is a simulation timestamp or duration in picoseconds.
+type Time int64
+
+// Convenient duration units.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000
+	Microsecond Time = 1000 * 1000
+	Millisecond Time = 1000 * 1000 * 1000
+)
+
+// Infinity is a timestamp later than any reachable simulation time.
+const Infinity Time = 1<<63 - 1
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event scheduler. The zero value is not usable; create
+// one with NewEngine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+}
+
+// NewEngine returns an engine with time zero and an empty event queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it always indicates a model bug rather than a recoverable condition.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d picoseconds from now.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Pending reports the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Step runs the earliest pending event and returns true, or returns false if
+// the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run processes events until the queue is empty and returns the final time.
+func (e *Engine) Run() Time {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil processes events with timestamps <= t and then advances the clock
+// to exactly t. Events scheduled beyond t remain pending.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.events) > 0 && e.events[0].at <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// RunWhile processes events while cond returns true and events remain.
+func (e *Engine) RunWhile(cond func() bool) {
+	for cond() && e.Step() {
+	}
+}
+
+// Clock converts between cycles of a fixed-frequency domain and engine time.
+type Clock struct {
+	period Time
+}
+
+// NewClock returns a clock with the given period in picoseconds.
+// It panics if period is not positive.
+func NewClock(period Time) Clock {
+	if period <= 0 {
+		panic("sim: clock period must be positive")
+	}
+	return Clock{period: period}
+}
+
+// ClockMHz returns a clock for a frequency given in MHz.
+func ClockMHz(mhz float64) Clock {
+	return NewClock(Time(1e6/mhz + 0.5))
+}
+
+// Period returns the clock period in picoseconds.
+func (c Clock) Period() Time { return c.period }
+
+// Cycles converts a cycle count to a duration.
+func (c Clock) Cycles(n int64) Time { return Time(n) * c.period }
+
+// CycleAt returns the (zero-based) cycle number containing time t.
+func (c Clock) CycleAt(t Time) int64 { return int64(t / c.period) }
+
+// NextEdge returns the earliest clock edge at or after t.
+func (c Clock) NextEdge(t Time) Time {
+	r := t % c.period
+	if r == 0 {
+		return t
+	}
+	return t + c.period - r
+}
+
+// Ticker runs a component's Tick function on consecutive clock edges while
+// there is work to do, and goes quiescent (consuming no events) when Tick
+// reports idleness. Call Wake whenever new work arrives.
+type Ticker struct {
+	eng       *Engine
+	clk       Clock
+	tick      func() bool // returns true to keep ticking
+	scheduled bool
+}
+
+// NewTicker creates a dormant ticker; it will not run until Wake is called.
+func NewTicker(eng *Engine, clk Clock, tick func() bool) *Ticker {
+	return &Ticker{eng: eng, clk: clk, tick: tick}
+}
+
+// Wake schedules the next tick on the upcoming clock edge if the ticker is
+// not already scheduled. Safe to call redundantly; duplicate wakes coalesce.
+func (t *Ticker) Wake() {
+	if t.scheduled {
+		return
+	}
+	t.scheduled = true
+	edge := t.clk.NextEdge(t.eng.Now())
+	if edge == t.eng.Now() {
+		// Never tick twice in the same instant: if we are exactly on an
+		// edge, run on the next one. Components observe state as of the
+		// start of a cycle, so work created mid-cycle starts next cycle.
+		edge += t.clk.Period()
+	}
+	t.eng.At(edge, t.run)
+}
+
+func (t *Ticker) run() {
+	t.scheduled = false
+	if t.tick() {
+		t.Wake()
+	}
+}

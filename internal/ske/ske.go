@@ -1,0 +1,200 @@
+// Package ske implements Scalable Kernel Execution (Section III of the
+// paper): a runtime that presents N discrete GPUs as a single virtual GPU.
+// Unmodified single-GPU kernels are launched into a virtual command queue;
+// the runtime generates one launch command per physical GPU carrying the
+// range of CTAs that GPU executes.
+//
+// Three CTA assignment policies are implemented (Section III-B):
+//
+//   - StaticChunk (the paper's choice): the flattened CTA index space is
+//     split into n contiguous chunks, preserving the memory locality of
+//     adjacent CTAs (+8% performance, up to +43% L1 / +20% L2 hit rate in
+//     the paper's measurements).
+//   - RoundRobin: fine-grained interleaving of CTAs across GPUs (the
+//     GPGPU-sim baseline the paper compares against).
+//   - StaticSteal: StaticChunk plus dynamic CTA stealing — an idle GPU
+//     steals unstarted CTAs from the most-loaded GPU (the paper found
+//     < 1% benefit; included for the ablation).
+//
+// Before each launch, the runtime synchronizes the per-GPU page tables
+// (Section III-C): a fixed-latency operation performed by the host.
+package ske
+
+import (
+	"fmt"
+
+	"memnet/internal/gpu"
+	"memnet/internal/sim"
+	"memnet/internal/stats"
+)
+
+// Policy selects the CTA assignment strategy.
+type Policy int
+
+// Assignment policies.
+const (
+	StaticChunk Policy = iota
+	RoundRobin
+	StaticSteal
+)
+
+func (p Policy) String() string {
+	switch p {
+	case StaticChunk:
+		return "static-chunk"
+	case RoundRobin:
+		return "round-robin"
+	case StaticSteal:
+		return "static+steal"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// ParsePolicy converts a policy name.
+func ParsePolicy(s string) (Policy, error) {
+	for _, p := range []Policy{StaticChunk, RoundRobin, StaticSteal} {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("ske: unknown policy %q", s)
+}
+
+// Config tunes the runtime.
+type Config struct {
+	Policy Policy
+	// PageTableSync is the host-side latency of keeping the GPUs' page
+	// tables consistent before a launch (Section III-C).
+	PageTableSync sim.Time
+	// StealChunk is how many CTAs one steal moves.
+	StealChunk int
+}
+
+// DefaultConfig returns the paper's configuration: static chunked
+// assignment.
+func DefaultConfig() Config {
+	return Config{
+		Policy:        StaticChunk,
+		PageTableSync: 5 * sim.Microsecond,
+		StealChunk:    4,
+	}
+}
+
+// Stats counts runtime events.
+type Stats struct {
+	Kernels    stats.Counter
+	CTAsStolen stats.Counter
+	// PerGPU[i] is the number of CTAs GPU i executed.
+	PerGPU []stats.Counter
+}
+
+// Runtime is the SKE virtual GPU.
+type Runtime struct {
+	eng  *sim.Engine
+	cfg  Config
+	gpus []*gpu.GPU
+
+	remaining int
+	onDone    func()
+	kernel    gpu.Kernel
+
+	Stats Stats
+}
+
+// New builds a runtime over the given physical GPUs.
+func New(eng *sim.Engine, cfg Config, gpus []*gpu.GPU) (*Runtime, error) {
+	if len(gpus) == 0 {
+		return nil, fmt.Errorf("ske: no GPUs")
+	}
+	if cfg.StealChunk <= 0 {
+		cfg.StealChunk = 1
+	}
+	return &Runtime{eng: eng, cfg: cfg, gpus: gpus,
+		Stats: Stats{PerGPU: make([]stats.Counter, len(gpus))}}, nil
+}
+
+// NumGPUs returns the virtual GPU's physical device count.
+func (r *Runtime) NumGPUs() int { return len(r.gpus) }
+
+// Assign partitions the flattened CTA index space [0, n) per the policy.
+// Exposed for tests and the scheduler-comparison experiment.
+func Assign(policy Policy, n, gpus int) [][]int {
+	out := make([][]int, gpus)
+	switch policy {
+	case RoundRobin:
+		for i := 0; i < n; i++ {
+			g := i % gpus
+			out[g] = append(out[g], i)
+		}
+	default: // StaticChunk and StaticSteal start from chunks
+		base := n / gpus
+		extra := n % gpus
+		next := 0
+		for g := 0; g < gpus; g++ {
+			k := base
+			if g < extra {
+				k++
+			}
+			for i := 0; i < k; i++ {
+				out[g] = append(out[g], next)
+				next++
+			}
+		}
+	}
+	return out
+}
+
+// Launch executes kernel across the virtual GPU and calls onDone when every
+// physical GPU has drained. A multi-dimensional grid is assumed already
+// flattened to [0, NumCTAs) (Section III-B).
+func (r *Runtime) Launch(kernel gpu.Kernel, onDone func()) {
+	if r.remaining > 0 {
+		panic("ske: Launch while a kernel is in flight")
+	}
+	r.Stats.Kernels.Inc()
+	r.kernel = kernel
+	r.onDone = onDone
+	parts := Assign(r.cfg.Policy, kernel.NumCTAs(), len(r.gpus))
+	r.remaining = len(r.gpus)
+	// Page-table synchronization precedes the per-GPU launch commands.
+	r.eng.After(r.cfg.PageTableSync, func() {
+		for g, part := range parts {
+			g, part := g, part
+			r.Stats.PerGPU[g].Add(int64(len(part)))
+			r.gpus[g].Launch(kernel, part, func() { r.gpuDone(g) })
+		}
+	})
+}
+
+func (r *Runtime) gpuDone(g int) {
+	if r.cfg.Policy == StaticSteal {
+		if victim := r.mostLoaded(); victim >= 0 {
+			stolen := r.gpus[victim].StealCTAs(r.cfg.StealChunk)
+			if len(stolen) > 0 {
+				r.Stats.CTAsStolen.Add(int64(len(stolen)))
+				r.Stats.PerGPU[victim].Add(-int64(len(stolen)))
+				r.Stats.PerGPU[g].Add(int64(len(stolen)))
+				// Relaunch this GPU with the stolen work.
+				r.gpus[g].Launch(r.kernel, stolen, func() { r.gpuDone(g) })
+				return
+			}
+		}
+	}
+	r.remaining--
+	if r.remaining == 0 && r.onDone != nil {
+		done := r.onDone
+		r.onDone = nil
+		done()
+	}
+}
+
+// mostLoaded returns the GPU with the largest unstarted-CTA queue, or -1.
+func (r *Runtime) mostLoaded() int {
+	best, n := -1, 0
+	for i, g := range r.gpus {
+		if q := g.QueuedCTAs(); q > n {
+			best, n = i, q
+		}
+	}
+	return best
+}

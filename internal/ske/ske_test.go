@@ -1,0 +1,284 @@
+package ske
+
+import (
+	"testing"
+	"testing/quick"
+
+	"memnet/internal/gpu"
+	"memnet/internal/mem"
+	"memnet/internal/sim"
+)
+
+type fixedPort struct {
+	eng   *sim.Engine
+	delay sim.Time
+}
+
+func (p *fixedPort) Access(_ mem.Addr, _, _ bool, done func()) {
+	p.eng.After(p.delay, done)
+}
+
+type sliceTrace struct {
+	ops []gpu.WarpOp
+	i   int
+}
+
+func (t *sliceTrace) Next() (gpu.WarpOp, bool) {
+	if t.i >= len(t.ops) {
+		return gpu.WarpOp{}, false
+	}
+	op := t.ops[t.i]
+	t.i++
+	return op, true
+}
+
+type kern struct {
+	ctas int
+	ops  func(cta, warp int) []gpu.WarpOp
+}
+
+func (k *kern) Name() string       { return "k" }
+func (k *kern) NumCTAs() int       { return k.ctas }
+func (k *kern) ThreadsPerCTA() int { return 64 }
+func (k *kern) WarpTrace(cta, warp int) gpu.WarpTrace {
+	return &sliceTrace{ops: k.ops(cta, warp)}
+}
+
+func mkGPUs(t *testing.T, eng *sim.Engine, n int) []*gpu.GPU {
+	t.Helper()
+	cfg := gpu.DefaultConfig()
+	cfg.Cores = 4
+	cfg.LaunchLatency = 0
+	var gs []*gpu.GPU
+	for i := 0; i < n; i++ {
+		g, err := gpu.New(eng, i, cfg, &fixedPort{eng: eng, delay: 200 * sim.Nanosecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gs = append(gs, g)
+	}
+	return gs
+}
+
+func TestAssignStaticChunkContiguous(t *testing.T) {
+	parts := Assign(StaticChunk, 10, 4)
+	want := [][]int{{0, 1, 2}, {3, 4, 5}, {6, 7}, {8, 9}}
+	for g := range want {
+		if len(parts[g]) != len(want[g]) {
+			t.Fatalf("gpu %d got %v, want %v", g, parts[g], want[g])
+		}
+		for i := range want[g] {
+			if parts[g][i] != want[g][i] {
+				t.Fatalf("gpu %d got %v, want %v", g, parts[g], want[g])
+			}
+		}
+	}
+}
+
+func TestAssignRoundRobinInterleaves(t *testing.T) {
+	parts := Assign(RoundRobin, 8, 4)
+	for g := 0; g < 4; g++ {
+		if len(parts[g]) != 2 || parts[g][0] != g || parts[g][1] != g+4 {
+			t.Fatalf("gpu %d got %v", g, parts[g])
+		}
+	}
+}
+
+func TestQuickAssignPartitions(t *testing.T) {
+	f := func(nRaw, gRaw uint8) bool {
+		n := int(nRaw)
+		g := int(gRaw)%8 + 1
+		for _, pol := range []Policy{StaticChunk, RoundRobin} {
+			parts := Assign(pol, n, g)
+			seen := make(map[int]bool)
+			for _, part := range parts {
+				for _, c := range part {
+					if c < 0 || c >= n || seen[c] {
+						return false
+					}
+					seen[c] = true
+				}
+			}
+			if len(seen) != n {
+				return false
+			}
+			// Balance: sizes differ by at most 1.
+			min, max := n+1, -1
+			for _, part := range parts {
+				if len(part) < min {
+					min = len(part)
+				}
+				if len(part) > max {
+					max = len(part)
+				}
+			}
+			if n >= g && max-min > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLaunchRunsAllCTAsOnce(t *testing.T) {
+	eng := sim.NewEngine()
+	gs := mkGPUs(t, eng, 4)
+	rt, err := New(eng, DefaultConfig(), gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := make(map[int]int)
+	k := &kern{ctas: 37, ops: func(cta, warp int) []gpu.WarpOp {
+		if warp == 0 {
+			ran[cta]++
+		}
+		return []gpu.WarpOp{{Compute: 4}, {Kind: gpu.OpLoad, Addrs: []mem.Addr{mem.Addr(cta * 4096)}}}
+	}}
+	done := false
+	rt.Launch(k, func() { done = true })
+	eng.Run()
+	if !done {
+		t.Fatal("virtual kernel never completed")
+	}
+	if len(ran) != 37 {
+		t.Fatalf("ran %d distinct CTAs, want 37", len(ran))
+	}
+	for cta, n := range ran {
+		if n != 1 {
+			t.Fatalf("CTA %d ran %d times", cta, n)
+		}
+	}
+	var total int64
+	for i := range rt.Stats.PerGPU {
+		total += rt.Stats.PerGPU[i].Value()
+	}
+	if total != 37 {
+		t.Fatalf("per-GPU counts sum to %d, want 37", total)
+	}
+}
+
+func TestPageTableSyncDelaysLaunch(t *testing.T) {
+	eng := sim.NewEngine()
+	gs := mkGPUs(t, eng, 2)
+	cfg := DefaultConfig()
+	cfg.PageTableSync = 100 * sim.Microsecond
+	rt, _ := New(eng, cfg, gs)
+	var doneAt sim.Time
+	k := &kern{ctas: 2, ops: func(int, int) []gpu.WarpOp { return []gpu.WarpOp{{Compute: 1}} }}
+	rt.Launch(k, func() { doneAt = eng.Now() })
+	eng.Run()
+	if doneAt < cfg.PageTableSync {
+		t.Fatalf("kernel done at %d, before page-table sync at %d", doneAt, cfg.PageTableSync)
+	}
+}
+
+func TestStealingRebalances(t *testing.T) {
+	eng := sim.NewEngine()
+	gs := mkGPUs(t, eng, 2)
+	cfg := DefaultConfig()
+	cfg.Policy = StaticSteal
+	cfg.StealChunk = 8
+	rt, _ := New(eng, cfg, gs)
+	// Imbalanced kernel: CTAs of GPU 1's chunk are far heavier. Each GPU
+	// has 4 SMs x 8 slots = 32 resident CTAs, so 256 CTAs leave a queue
+	// to steal from.
+	k := &kern{ctas: 256, ops: func(cta, warp int) []gpu.WarpOp {
+		n := 1
+		if cta >= 128 {
+			n = 60
+		}
+		ops := make([]gpu.WarpOp, n)
+		for i := range ops {
+			ops[i] = gpu.WarpOp{Kind: gpu.OpLoad, Addrs: []mem.Addr{mem.Addr(cta*65536 + i*128)}}
+		}
+		return ops
+	}}
+	done := false
+	rt.Launch(k, func() { done = true })
+	eng.Run()
+	if !done {
+		t.Fatal("kernel never completed")
+	}
+	if rt.Stats.CTAsStolen.Value() == 0 {
+		t.Fatal("no CTAs were stolen despite imbalance")
+	}
+	if rt.Stats.PerGPU[0].Value() <= 128 {
+		t.Fatalf("GPU 0 executed %d CTAs; stealing should add work", rt.Stats.PerGPU[0].Value())
+	}
+}
+
+func TestLaunchWhileBusyPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	gs := mkGPUs(t, eng, 2)
+	rt, _ := New(eng, DefaultConfig(), gs)
+	k := &kern{ctas: 4, ops: func(int, int) []gpu.WarpOp { return []gpu.WarpOp{{Compute: 1}} }}
+	rt.Launch(k, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second launch did not panic")
+		}
+	}()
+	rt.Launch(k, nil)
+}
+
+func TestNoGPUsRejected(t *testing.T) {
+	if _, err := New(sim.NewEngine(), DefaultConfig(), nil); err == nil {
+		t.Fatal("runtime with no GPUs accepted")
+	}
+}
+
+func TestPolicyStringRoundTrip(t *testing.T) {
+	for _, p := range []Policy{StaticChunk, RoundRobin, StaticSteal} {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParsePolicy(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := ParsePolicy("nope"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestMoreGPUsFasterOnParallelKernel(t *testing.T) {
+	run := func(n int) sim.Time {
+		eng := sim.NewEngine()
+		gs := mkGPUs(t, eng, n)
+		cfg := DefaultConfig()
+		cfg.PageTableSync = 0
+		rt, _ := New(eng, cfg, gs)
+		k := &kern{ctas: 128, ops: func(cta, warp int) []gpu.WarpOp {
+			var ops []gpu.WarpOp
+			for i := 0; i < 16; i++ {
+				ops = append(ops, gpu.WarpOp{Compute: 4,
+					Kind: gpu.OpLoad, Addrs: []mem.Addr{mem.Addr(cta*65536 + i*128)}})
+			}
+			return ops
+		}}
+		var end sim.Time
+		rt.Launch(k, func() { end = eng.Now() })
+		eng.Run()
+		return end
+	}
+	t1, t4 := run(1), run(4)
+	if t4*2 >= t1 {
+		t.Fatalf("4 GPUs (%d) not at least 2x faster than 1 GPU (%d)", t4, t1)
+	}
+}
+
+func TestStaticStealAssignsLikeChunk(t *testing.T) {
+	a := Assign(StaticChunk, 25, 4)
+	b := Assign(StaticSteal, 25, 4)
+	for g := range a {
+		if len(a[g]) != len(b[g]) {
+			t.Fatalf("steal initial assignment differs from chunk at gpu %d", g)
+		}
+		for i := range a[g] {
+			if a[g][i] != b[g][i] {
+				t.Fatal("steal policy must start from static chunks")
+			}
+		}
+	}
+}

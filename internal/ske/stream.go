@@ -1,0 +1,79 @@
+package ske
+
+import "memnet/internal/gpu"
+
+// Stream is an in-order queue of kernel launches on the virtual GPU.
+// Kernels within one stream execute back to back; kernels in different
+// streams execute concurrently, space-sharing the physical GPUs' SMs —
+// the concurrent-kernel-execution extension Section III of the paper
+// names as future work for SKE.
+type Stream struct {
+	rt     *Runtime
+	queue  []streamItem
+	active bool
+}
+
+type streamItem struct {
+	kernel gpu.Kernel
+	onDone func()
+}
+
+// NewStream creates an empty stream on the runtime.
+func (r *Runtime) NewStream() *Stream {
+	return &Stream{rt: r}
+}
+
+// Enqueue appends a kernel launch to the stream; onDone fires when it
+// completes. Execution begins immediately if the stream is idle.
+func (st *Stream) Enqueue(kernel gpu.Kernel, onDone func()) {
+	st.queue = append(st.queue, streamItem{kernel: kernel, onDone: onDone})
+	if !st.active {
+		st.next()
+	}
+}
+
+// Pending returns the number of kernels waiting or running in the stream.
+func (st *Stream) Pending() int {
+	n := len(st.queue)
+	if st.active {
+		n++
+	}
+	return n
+}
+
+func (st *Stream) next() {
+	if len(st.queue) == 0 {
+		st.active = false
+		return
+	}
+	it := st.queue[0]
+	st.queue = st.queue[1:]
+	st.active = true
+	st.rt.launchConcurrent(it.kernel, func() {
+		if it.onDone != nil {
+			it.onDone()
+		}
+		st.next()
+	})
+}
+
+// launchConcurrent distributes a kernel like Launch but without the
+// exclusive-launch restriction: several kernels may be in flight and the
+// physical GPUs space-share their SMs among them.
+func (r *Runtime) launchConcurrent(kernel gpu.Kernel, onDone func()) {
+	r.Stats.Kernels.Inc()
+	parts := Assign(r.cfg.Policy, kernel.NumCTAs(), len(r.gpus))
+	remaining := len(r.gpus)
+	r.eng.After(r.cfg.PageTableSync, func() {
+		for g, part := range parts {
+			g, part := g, part
+			r.Stats.PerGPU[g].Add(int64(len(part)))
+			r.gpus[g].Launch(kernel, part, func() {
+				remaining--
+				if remaining == 0 && onDone != nil {
+					onDone()
+				}
+			})
+		}
+	})
+}

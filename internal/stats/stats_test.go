@@ -1,0 +1,219 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("Value() = %d, want 42", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatalf("Value() after Reset = %d, want 0", c.Value())
+	}
+}
+
+func TestMean(t *testing.T) {
+	var m Mean
+	if m.Value() != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+	for _, v := range []float64{2, 4, 6} {
+		m.Add(v)
+	}
+	if m.Value() != 4 {
+		t.Fatalf("Value() = %v, want 4", m.Value())
+	}
+	if m.Min() != 2 || m.Max() != 6 {
+		t.Fatalf("Min/Max = %v/%v, want 2/6", m.Min(), m.Max())
+	}
+	if m.Count() != 3 || m.Sum() != 12 {
+		t.Fatalf("Count/Sum = %d/%v, want 3/12", m.Count(), m.Sum())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 2, 3, 4, 100, 1000} {
+		h.Add(v)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("Count = %d, want 7", h.Count())
+	}
+	if h.Max() != 1000 {
+		t.Fatalf("Max = %v, want 1000", h.Max())
+	}
+	// Percentile bound must be >= the true percentile value.
+	if p := h.Percentile(100); p < 1000 {
+		t.Fatalf("P100 = %d, want >= 1000", p)
+	}
+	if p := h.Percentile(50); p < 3 || p > 7 {
+		t.Fatalf("P50 = %d, want within [3,7]", p)
+	}
+}
+
+func TestHistogramPercentileEmpty(t *testing.T) {
+	var h Histogram
+	if h.Percentile(99) != 0 {
+		t.Fatal("empty histogram percentile should be 0")
+	}
+}
+
+func TestQuickHistogramPercentileUpperBound(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		max := int64(0)
+		for _, r := range raw {
+			v := int64(r)
+			h.Add(v)
+			if v > max {
+				max = v
+			}
+		}
+		return h.Percentile(100) >= max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatrix(t *testing.T) {
+	m := NewMatrix(2, 4)
+	m.Add(0, 0, 10)
+	m.Add(0, 1, 10)
+	m.Add(1, 2, 20)
+	m.Add(1, 3, 40)
+	if m.Total() != 80 {
+		t.Fatalf("Total = %d, want 80", m.Total())
+	}
+	if m.RowSum(1) != 60 {
+		t.Fatalf("RowSum(1) = %d, want 60", m.RowSum(1))
+	}
+	if m.ColSum(3) != 40 {
+		t.Fatalf("ColSum(3) = %d, want 40", m.ColSum(3))
+	}
+	if r := m.MaxMinColRatio(); r != 4 {
+		t.Fatalf("MaxMinColRatio = %v, want 4", r)
+	}
+	fr := m.Fractions()
+	if fr[1][3] != 0.5 {
+		t.Fatalf("Fractions[1][3] = %v, want 0.5", fr[1][3])
+	}
+}
+
+func TestMatrixRatioDegenerate(t *testing.T) {
+	m := NewMatrix(1, 4)
+	if m.MaxMinColRatio() != 1 {
+		t.Fatal("empty matrix ratio should be 1")
+	}
+	m.Add(0, 0, 5)
+	if m.MaxMinColRatio() != 1 {
+		t.Fatal("single-column matrix ratio should be 1")
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	got := Geomean([]float64{2, 8})
+	if math.Abs(got-4) > 1e-9 {
+		t.Fatalf("Geomean(2,8) = %v, want 4", got)
+	}
+	if Geomean(nil) != 0 {
+		t.Fatal("Geomean(nil) should be 0")
+	}
+	if g := Geomean([]float64{0, -1, 5}); g != 5 {
+		t.Fatalf("Geomean ignoring nonpositive = %v, want 5", g)
+	}
+}
+
+func TestQuickMatrixTotalEqualsRowSums(t *testing.T) {
+	f := func(vals []uint8) bool {
+		m := NewMatrix(3, 5)
+		for i, v := range vals {
+			m.Add(i%3, (i/3)%5, int64(v))
+		}
+		var rows int64
+		for r := 0; r < 3; r++ {
+			rows += m.RowSum(r)
+		}
+		var cols int64
+		for c := 0; c < 5; c++ {
+			cols += m.ColSum(c)
+		}
+		return rows == m.Total() && cols == m.Total()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	var h Histogram
+	h.Add(0)
+	h.Add(5)
+	h.Add(5000)
+	s := h.String()
+	if s == "" || h.Count() != 3 {
+		t.Fatalf("String() = %q", s)
+	}
+	if h.MeanValue() == 0 {
+		t.Fatal("mean lost")
+	}
+}
+
+func TestHistogramPercentileBounds(t *testing.T) {
+	var h Histogram
+	for i := int64(1); i <= 1000; i++ {
+		h.Add(i)
+	}
+	p50 := h.Percentile(50)
+	p99 := h.Percentile(99)
+	if p50 > p99 {
+		t.Fatalf("P50 %d above P99 %d", p50, p99)
+	}
+	if p99 < 990 {
+		t.Fatalf("P99 = %d, want >= 990", p99)
+	}
+}
+
+func TestMatrixString(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Add(0, 1, 50)
+	m.Add(1, 0, 50)
+	s := m.String()
+	if s == "" {
+		t.Fatal("empty rendering")
+	}
+	// Empty matrix renders without dividing by zero.
+	if NewMatrix(1, 1).String() == "" {
+		t.Fatal("empty matrix rendering failed")
+	}
+}
+
+func TestSorted(t *testing.T) {
+	in := []float64{3, 1, 2}
+	out := Sorted(in)
+	if out[0] != 1 || out[2] != 3 {
+		t.Fatalf("Sorted = %v", out)
+	}
+	if in[0] != 3 {
+		t.Fatal("Sorted mutated its input")
+	}
+}
+
+func TestMeanReset(t *testing.T) {
+	var m Mean
+	m.Add(5)
+	m.Reset()
+	if m.Count() != 0 || m.Value() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}

@@ -1,0 +1,617 @@
+package workload
+
+import (
+	"memnet/internal/cpu"
+	"memnet/internal/gpu"
+	"memnet/internal/mem"
+)
+
+// The definitions below size each workload at scale 1.0 for tractable
+// simulation while preserving the shape of the paper's inputs (Table II).
+// Comments give the paper's input and the modeled characteristics.
+
+func kb(n int) uint64 { return uint64(n) << 10 }
+
+func init() {
+	register("VA", newVA)
+	register("BP", newBP)
+	register("BFS", newBFS)
+	register("SRAD", newSRAD)
+	register("KMN", newKMN)
+	register("BH", newBH)
+	register("SP", newSP)
+	register("SCAN", newSCAN)
+	register("3DFD", new3DFD)
+	register("FWT", newFWT)
+	register("CG.S", newCG)
+	register("FT.S", newFT)
+	register("RAY", newRAY)
+	register("STO", newSTO)
+	register("CP", newCP)
+}
+
+// VA — vectorAdd (CUDA SDK): c[i] = a[i] + b[i]. Pure streaming,
+// memory-bound; the Fig. 7 microbenchmark.
+func newVA(scale float64) *Workload {
+	n := scaleInt(1<<20, scale, 1<<14, 1<<10) // elements
+	bytes := uint64(n) * 4
+	ctas := n / 256 / 4 // each thread handles 4 elements
+	if ctas < 4 {
+		ctas = 4
+	}
+	return &Workload{
+		Abbr: "VA", FullName: "vectorAdd", InputDesc: "1M elements",
+		ctas: ctas, threads: 256, seed: 0xA5A5, iterations: 1,
+		buffers: []BufferSpec{
+			{Name: "a", Bytes: bytes, HostInit: true},
+			{Name: "b", Bytes: bytes, HostInit: true},
+			{Name: "c", Bytes: bytes, Output: true},
+		},
+		ops: func(w *Workload, b Binding, cta, warp int) *program {
+			a, bb, c := b.Get("a"), b.Get("b"), b.Get("c")
+			return &program{total: 4, f: func(i int) gpu.WarpOp {
+				// One line of a and b in, one line of c out, per element
+				// chunk; 4 compute cycles (the add + address math).
+				la := w.stream(a, cta, warp, i)
+				lb := w.stream(bb, cta, warp, i)
+				lc := w.stream(c, cta, warp, i)
+				if i%2 == 0 {
+					return gpu.WarpOp{Compute: 4, Kind: gpu.OpLoad, Addrs: []mem.Addr{la, lb}}
+				}
+				return gpu.WarpOp{Compute: 2, Kind: gpu.OpStore, Addrs: []mem.Addr{lc}}
+			}}
+		},
+	}
+}
+
+// BP — Back Propagation (Rodinia), 1M points: dense layer forward/backward
+// passes. The most memory-intensive workload; the paper reports the
+// largest GMN kernel speedup (8.8x) for it.
+func newBP(scale float64) *Workload {
+	n := scaleInt(1<<18, scale, 1<<13, 1<<10)
+	in := uint64(n) * 4
+	w1 := uint64(n) * 16 // weight rows
+	return &Workload{
+		Abbr: "BP", FullName: "Back Propagation", InputDesc: "1M points",
+		ctas: n / 1024, threads: 256, seed: 0xB9, iterations: 1,
+		buffers: []BufferSpec{
+			{Name: "in", Bytes: in, HostInit: true},
+			{Name: "w1", Bytes: w1, HostInit: true},
+			{Name: "hidden", Bytes: in},
+			{Name: "w2", Bytes: w1, HostInit: true},
+			{Name: "out", Bytes: in, Output: true},
+			{Name: "delta", Bytes: in, Output: true},
+		},
+		ops: func(w *Workload, b Binding, cta, warp int) *program {
+			bin, bw1, bh := b.Get("in"), b.Get("w1"), b.Get("hidden")
+			bw2, bout, bdel := b.Get("w2"), b.Get("out"), b.Get("delta")
+			return &program{total: 48, f: func(i int) gpu.WarpOp {
+				// Stream weights at high rate with tiny compute: 2 weight
+				// lines + 1 activation line per 2 cycles of compute.
+				wbuf := bw1
+				if i >= 24 {
+					wbuf = bw2 // backward pass
+				}
+				switch i % 4 {
+				case 0:
+					return gpu.WarpOp{Compute: 2, Kind: gpu.OpLoad, Addrs: []mem.Addr{
+						w.stream(wbuf, cta, warp, 2*i),
+						w.stream(wbuf, cta, warp, 2*i+1),
+					}}
+				case 1:
+					return gpu.WarpOp{Compute: 2, Kind: gpu.OpLoad,
+						Addrs: []mem.Addr{w.stream(bin, cta, warp, i)}}
+				case 2:
+					return gpu.WarpOp{Compute: 2, Kind: gpu.OpStore,
+						Addrs: []mem.Addr{w.stream(bh, cta, warp, i)}}
+				default:
+					if i >= 24 {
+						return gpu.WarpOp{Compute: 2, Kind: gpu.OpStore,
+							Addrs: []mem.Addr{w.stream(bdel, cta, warp, i)}}
+					}
+					return gpu.WarpOp{Compute: 2, Kind: gpu.OpStore,
+						Addrs: []mem.Addr{w.stream(bout, cta, warp, i)}}
+				}
+			}}
+		},
+	}
+}
+
+// BFS — Breadth First Search (Rodinia), 1M nodes: data-dependent, irregular
+// neighbor expansion over a CSR graph.
+func newBFS(scale float64) *Workload {
+	n := scaleInt(1<<18, scale, 1<<13, 1<<10)
+	nodes := uint64(n) * 8
+	edges := uint64(n) * 24 // ~6 edges per node, 4B each
+	return &Workload{
+		Abbr: "BFS", FullName: "Breadth First Search", InputDesc: "1M nodes",
+		ctas: n / 1024, threads: 256, seed: 0xBF5, iterations: 1,
+		buffers: []BufferSpec{
+			{Name: "nodes", Bytes: nodes, HostInit: true},
+			{Name: "edges", Bytes: edges, HostInit: true},
+			{Name: "frontier", Bytes: uint64(n), HostInit: true},
+			{Name: "visited", Bytes: uint64(n), Output: true},
+		},
+		ops: func(w *Workload, b Binding, cta, warp int) *program {
+			bn, be := b.Get("nodes"), b.Get("edges")
+			bf, bv := b.Get("frontier"), b.Get("visited")
+			return &program{total: 32, f: func(i int) gpu.WarpOp {
+				h := w.rnd(cta, warp, i, 0)
+				switch i % 4 {
+				case 0: // node record: streaming over the frontier
+					return gpu.WarpOp{Compute: 4, Kind: gpu.OpLoad,
+						Addrs: []mem.Addr{w.stream(bf, cta, warp, i)}}
+				case 1: // edge list: irregular
+					return gpu.WarpOp{Compute: 2, Kind: gpu.OpLoad,
+						Addrs: []mem.Addr{byteLine(be, h)}}
+				case 2: // neighbor node: irregular, poor locality
+					return gpu.WarpOp{Compute: 2, Kind: gpu.OpLoad,
+						Addrs: []mem.Addr{byteLine(bn, w.rnd(cta, warp, i, 1))}}
+				default: // mark visited
+					return gpu.WarpOp{Compute: 2, Kind: gpu.OpStore,
+						Addrs: []mem.Addr{byteLine(bv, w.rnd(cta, warp, i, 2))}}
+				}
+			}}
+		},
+	}
+}
+
+// SRAD — Speckle Reducing Anisotropic Diffusion (Rodinia), 2K x 2K grid:
+// a 2D 4-point stencil with row-major locality.
+func newSRAD(scale float64) *Workload {
+	dim := scaleInt(1024, scale, 256, 64)
+	grid := uint64(dim) * uint64(dim) * 4
+	rowBytes := uint64(dim) * 4
+	return &Workload{
+		Abbr: "SRAD", FullName: "Speckle Reducing Anisotropic Diffusion",
+		InputDesc: "2K x 2K grids",
+		ctas:      dim * dim / 1024, threads: 256, seed: 0x52AD, iterations: 1,
+		buffers: []BufferSpec{
+			{Name: "img", Bytes: grid, HostInit: true},
+			{Name: "coef", Bytes: grid},
+			{Name: "out", Bytes: grid, Output: true},
+		},
+		ops: func(w *Workload, b Binding, cta, warp int) *program {
+			img, coef, out := b.Get("img"), b.Get("coef"), b.Get("out")
+			rowLines := rowBytes / lineBytes
+			if rowLines == 0 {
+				rowLines = 1
+			}
+			return &program{total: 24, f: func(i int) gpu.WarpOp {
+				// Center plus north/south rows (east/west coalesce into
+				// the center line). The row-distance neighbors belong to
+				// adjacent CTAs: the inter-CTA locality the static
+				// chunked assignment preserves (Section III-B).
+				base := w.streamIndex(img, cta, warp, i)
+				switch i % 3 {
+				case 0:
+					return gpu.WarpOp{Compute: 6, Kind: gpu.OpLoad, Addrs: []mem.Addr{
+						lineAt(img, base),
+						lineAt(img, base+rowLines),
+						lineAt(img, base+2*rowLines),
+					}}
+				case 1:
+					return gpu.WarpOp{Compute: 10, Kind: gpu.OpStore,
+						Addrs: []mem.Addr{lineAt(coef, base)}}
+				default:
+					return gpu.WarpOp{Compute: 8, Kind: gpu.OpStore,
+						Addrs: []mem.Addr{lineAt(out, base)}}
+				}
+			}}
+		},
+	}
+}
+
+// KMN — K-means (Rodinia), 484K objects x 34 features: streams features,
+// keeps the small centroid table hot, and updates cluster accumulators
+// with atomics. The paper's example of near-uniform memory traffic
+// (Fig. 10a).
+func newKMN(scale float64) *Workload {
+	n := scaleInt(1<<17, scale, 1<<13, 1<<10)
+	features := uint64(n) * 34 * 4
+	return &Workload{
+		Abbr: "KMN", FullName: "K-means", InputDesc: "484K objects, 34 features",
+		ctas: n / 512, threads: 256, seed: 0x3F6A, iterations: 1,
+		buffers: []BufferSpec{
+			{Name: "features", Bytes: features, HostInit: true},
+			{Name: "centroids", Bytes: kb(16), HostInit: true},
+			{Name: "membership", Bytes: uint64(n) * 4, Output: true},
+			{Name: "sums", Bytes: kb(16), Output: true},
+		},
+		ops: func(w *Workload, b Binding, cta, warp int) *program {
+			bf, bc := b.Get("features"), b.Get("centroids")
+			bm, bs := b.Get("membership"), b.Get("sums")
+			return &program{total: 40, f: func(i int) gpu.WarpOp {
+				h := w.rnd(cta, warp, i, 0)
+				switch i % 5 {
+				case 0, 1, 2: // feature stream: uniform over a large buffer
+					return gpu.WarpOp{Compute: 6, Kind: gpu.OpLoad,
+						Addrs: []mem.Addr{byteLine(bf, w.rnd(cta, warp, i, 3))}}
+				case 3: // centroid table: hot, caches well
+					return gpu.WarpOp{Compute: 8, Kind: gpu.OpLoad,
+						Addrs: []mem.Addr{byteLine(bc, h)}}
+				default: // membership store + accumulator atomic
+					if i%10 == 4 {
+						return gpu.WarpOp{Compute: 2, Kind: gpu.OpAtomic,
+							Addrs: []mem.Addr{byteLine(bs, h)}}
+					}
+					return gpu.WarpOp{Compute: 2, Kind: gpu.OpStore,
+						Addrs: []mem.Addr{w.stream(bm, cta, warp, i)}}
+				}
+			}}
+		},
+	}
+}
+
+// BH — Barnes-Hut n-body (LonestarGPU), 8K bodies: irregular octree walks
+// with a hot root region.
+func newBH(scale float64) *Workload {
+	n := scaleInt(8192, scale, 1024, 256)
+	return &Workload{
+		Abbr: "BH", FullName: "Barnes-Hut", InputDesc: "8K bodies",
+		ctas: n / 128, threads: 128, seed: 0xB4, iterations: 1,
+		buffers: []BufferSpec{
+			{Name: "bodies", Bytes: uint64(n) * 32, HostInit: true},
+			{Name: "tree", Bytes: uint64(n) * 64},
+			{Name: "accel", Bytes: uint64(n) * 16, Output: true},
+		},
+		ops: func(w *Workload, b Binding, cta, warp int) *program {
+			bb, bt, ba := b.Get("bodies"), b.Get("tree"), b.Get("accel")
+			return &program{total: 48, f: func(i int) gpu.WarpOp {
+				switch i % 6 {
+				case 0: // own body: streaming
+					return gpu.WarpOp{Compute: 6, Kind: gpu.OpLoad,
+						Addrs: []mem.Addr{w.stream(bb, cta, warp, i/6)}}
+				case 1, 2, 3, 4: // tree walk: zipf-hot toward the root
+					return gpu.WarpOp{Compute: 12, Kind: gpu.OpLoad,
+						Addrs: []mem.Addr{zipfLine(bt, w.rnd(cta, warp, i, 0))}}
+				default:
+					return gpu.WarpOp{Compute: 8, Kind: gpu.OpStore,
+						Addrs: []mem.Addr{w.stream(ba, cta, warp, i/6)}}
+				}
+			}}
+		},
+	}
+}
+
+// SP — Survey Propagation (LonestarGPU), 100K clauses / 300K literals:
+// irregular bipartite graph updates.
+func newSP(scale float64) *Workload {
+	n := scaleInt(1<<17, scale, 1<<13, 1<<10)
+	return &Workload{
+		Abbr: "SP", FullName: "Survey Propagation", InputDesc: "100K clauses, 300K literals",
+		ctas: n / 1024, threads: 256, seed: 0x59, iterations: 1,
+		buffers: []BufferSpec{
+			{Name: "clauses", Bytes: uint64(n) * 16, HostInit: true},
+			{Name: "literals", Bytes: uint64(n) * 48, HostInit: true},
+			{Name: "eta", Bytes: uint64(n) * 8, Output: true},
+		},
+		ops: func(w *Workload, b Binding, cta, warp int) *program {
+			bc, bl, be := b.Get("clauses"), b.Get("literals"), b.Get("eta")
+			return &program{total: 36, f: func(i int) gpu.WarpOp {
+				switch i % 3 {
+				case 0:
+					return gpu.WarpOp{Compute: 6, Kind: gpu.OpLoad,
+						Addrs: []mem.Addr{byteLine(bc, w.rnd(cta, warp, i, 0))}}
+				case 1:
+					return gpu.WarpOp{Compute: 6, Kind: gpu.OpLoad, Addrs: []mem.Addr{
+						byteLine(bl, w.rnd(cta, warp, i, 1)),
+						byteLine(bl, w.rnd(cta, warp, i, 2)),
+					}}
+				default:
+					return gpu.WarpOp{Compute: 4, Kind: gpu.OpStore,
+						Addrs: []mem.Addr{byteLine(be, w.rnd(cta, warp, i, 3))}}
+				}
+			}}
+		},
+	}
+}
+
+// SCAN — parallel prefix sum (CUDA SDK), 16M elements: log-depth sweeps of
+// a big array; memcpy time exceeds kernel time, so zero-copy wins in
+// Fig. 14.
+func newSCAN(scale float64) *Workload {
+	n := scaleInt(1<<21, scale, 1<<15, 1<<10)
+	bytes := uint64(n) * 4
+	return &Workload{
+		Abbr: "SCAN", FullName: "Parallel prefix sum", InputDesc: "16M elements",
+		ctas: n / 4096, threads: 256, seed: 0x5CA9, iterations: 1,
+		buffers: []BufferSpec{
+			{Name: "data", Bytes: bytes, HostInit: true, Output: true},
+			{Name: "sums", Bytes: bytes / 256},
+		},
+		ops: func(w *Workload, b Binding, cta, warp int) *program {
+			bd, bs := b.Get("data"), b.Get("sums")
+			return &program{total: 12, f: func(i int) gpu.WarpOp {
+				base := w.streamIndex(bd, cta, warp, i)
+				stride := uint64(1) << uint(i%4)
+				switch i % 3 {
+				case 0:
+					return gpu.WarpOp{Compute: 2, Kind: gpu.OpLoad, Addrs: []mem.Addr{
+						lineAt(bd, base),
+						lineAt(bd, base+stride),
+					}}
+				case 1:
+					return gpu.WarpOp{Compute: 2, Kind: gpu.OpStore,
+						Addrs: []mem.Addr{lineAt(bd, base)}}
+				default:
+					return gpu.WarpOp{Compute: 2, Kind: gpu.OpStore,
+						Addrs: []mem.Addr{lineAt(bs, uint64(cta))}}
+				}
+			}}
+		},
+	}
+}
+
+// 3DFD — 3D finite difference (CUDA SDK), 1024x1024x4 grid: a 3D stencil
+// whose input dwarfs its kernel work (another zero-copy winner).
+func new3DFD(scale float64) *Workload {
+	dim := scaleInt(512, scale, 128, 64)
+	planes := 4
+	grid := uint64(dim) * uint64(dim) * uint64(planes) * 4
+	rowBytes := uint64(dim) * 4
+	planeBytes := uint64(dim) * uint64(dim) * 4
+	return &Workload{
+		Abbr: "3DFD", FullName: "3D finite difference computation",
+		InputDesc: "1024x1024x4 grid",
+		ctas:      dim * dim * planes / 2048, threads: 256, seed: 0x3DFD, iterations: 1,
+		buffers: []BufferSpec{
+			{Name: "vin", Bytes: grid, HostInit: true},
+			{Name: "vout", Bytes: grid, Output: true},
+		},
+		ops: func(w *Workload, b Binding, cta, warp int) *program {
+			vin, vout := b.Get("vin"), b.Get("vout")
+			rowLines := rowBytes / lineBytes
+			planeLines := planeBytes / lineBytes
+			if rowLines == 0 {
+				rowLines = 1
+			}
+			return &program{total: 10, f: func(i int) gpu.WarpOp {
+				base := w.streamIndex(vin, cta, warp, i)
+				if i%2 == 0 {
+					return gpu.WarpOp{Compute: 8, Kind: gpu.OpLoad, Addrs: []mem.Addr{
+						lineAt(vin, base),
+						lineAt(vin, base+rowLines),
+						lineAt(vin, base+planeLines),
+						lineAt(vin, base+2*planeLines),
+					}}
+				}
+				return gpu.WarpOp{Compute: 6, Kind: gpu.OpStore,
+					Addrs: []mem.Addr{lineAt(vout, base)}}
+			}}
+		},
+	}
+}
+
+// FWT — Fast Walsh Transform (CUDA SDK), 8M points: butterfly passes with
+// doubling strides that spread traffic across all memory clusters.
+func newFWT(scale float64) *Workload {
+	n := scaleInt(1<<20, scale, 1<<15, 1<<10)
+	bytes := uint64(n) * 4
+	return &Workload{
+		Abbr: "FWT", FullName: "Fast Walsh Transform", InputDesc: "8M data",
+		ctas: n / 8192, threads: 256, seed: 0xF37, iterations: 1,
+		buffers: []BufferSpec{
+			{Name: "data", Bytes: bytes, HostInit: true, Output: true},
+		},
+		ops: func(w *Workload, b Binding, cta, warp int) *program {
+			bd := b.Get("data")
+			lines := bytes / lineBytes
+			return &program{total: 30, f: func(i int) gpu.WarpOp {
+				pass := uint(i/3) % 15
+				self := w.streamIndex(bd, cta, warp, i%4)
+				partner := self ^ (uint64(1) << pass) // butterfly partner
+				switch i % 3 {
+				case 0:
+					return gpu.WarpOp{Compute: 4, Kind: gpu.OpLoad, Addrs: []mem.Addr{
+						lineAt(bd, self%lines), lineAt(bd, partner%lines),
+					}}
+				case 1:
+					return gpu.WarpOp{Compute: 4, Kind: gpu.OpStore,
+						Addrs: []mem.Addr{lineAt(bd, self%lines)}}
+				default:
+					return gpu.WarpOp{Compute: 4, Kind: gpu.OpStore,
+						Addrs: []mem.Addr{lineAt(bd, partner%lines)}}
+				}
+			}}
+		},
+	}
+}
+
+// CG.S — NAS Conjugate Gradient class S, 1400 rows: tiny grid (too few
+// CTAs to balance across GPUs — the Fig. 10b traffic-imbalance and Fig. 15
+// adaptive-routing example), with real host-thread reductions between
+// kernels (Fig. 18).
+func newCG(scale float64) *Workload {
+	rows := scaleInt(1400, scale, 256, 1)
+	ctas := rows / 128
+	if ctas < 3 {
+		ctas = 3
+	}
+	nnzBytes := uint64(rows) * 78 * 8 // ~78 nonzeros/row (class S density)
+	vec := uint64(rows) * 8
+	return &Workload{
+		Abbr: "CG.S", FullName: "Conjugate Gradient", InputDesc: "Class S (1400 rows)",
+		ctas: ctas, threads: 256, seed: 0xC65, iterations: 3,
+		buffers: []BufferSpec{
+			{Name: "matrix", Bytes: nnzBytes, HostInit: true},
+			{Name: "x", Bytes: vec, HostInit: true},
+			{Name: "y", Bytes: vec, Output: true},
+			{Name: "p", Bytes: vec, Output: true},
+		},
+		ops: func(w *Workload, b Binding, cta, warp int) *program {
+			bm, bx, by := b.Get("matrix"), b.Get("x"), b.Get("y")
+			// Row blocks have wildly varying nonzero counts: op counts
+			// differ per CTA (heavy tail), concentrating traffic on the
+			// clusters holding the popular rows.
+			nops := 20 + int(w.rnd(cta, 0, 0, 7)%64)*int(w.rnd(cta, 0, 1, 7)%3)
+			region := bm.Size / uint64(w.ctas)
+			return &program{total: nops, f: func(i int) gpu.WarpOp {
+				switch i % 3 {
+				case 0: // this CTA's matrix block: concentrated region
+					off := uint64(cta)*region + (w.rnd(cta, warp, i, 0) % region)
+					return gpu.WarpOp{Compute: 4, Kind: gpu.OpLoad,
+						Addrs: []mem.Addr{byteLine(bm, off)}}
+				case 1: // gather x: irregular
+					return gpu.WarpOp{Compute: 4, Kind: gpu.OpLoad,
+						Addrs: []mem.Addr{byteLine(bx, w.rnd(cta, warp, i, 1))}}
+				default:
+					return gpu.WarpOp{Compute: 4, Kind: gpu.OpStore,
+						Addrs: []mem.Addr{w.stream(by, cta, warp, i)}}
+				}
+			}}
+		},
+		host: func(w *Workload, b Binding, iter int) cpu.Trace {
+			// Dot products and vector updates on the host between sparse
+			// matrix-vector kernels: two passes over the x, p and y
+			// vectors (the GPU wrote y, so these accesses miss the host
+			// caches and their latency depends on the memory network —
+			// the Fig. 18 sensitivity).
+			bufs := []mem.Buffer{b.Get("x"), b.Get("p"), b.Get("y")}
+			var lines int
+			for _, buf := range bufs {
+				lines += int(buf.Size / 64)
+			}
+			total := 2 * lines
+			return &hostProgram{total: total, f: func(i int) cpu.Op {
+				buf := bufs[i%3]
+				return cpu.Op{Instrs: 8, HasMem: true,
+					Addr:  buf.Base + mem.Addr((uint64(i/3)*64)%buf.Size),
+					Write: i%16 == 15}
+			}}
+		},
+	}
+}
+
+// FT.S — NAS Fourier Transform class S, 64^3: butterfly strides plus host
+// reordering phases.
+func newFT(scale float64) *Workload {
+	n := scaleInt(64*64*64, scale, 1<<13, 1<<10)
+	bytes := uint64(n) * 16 // complex doubles
+	return &Workload{
+		Abbr: "FT.S", FullName: "Fast Fourier Transform", InputDesc: "Class S (64 x 64 x 64)",
+		ctas: n / 2048, threads: 256, seed: 0xF7, iterations: 3,
+		buffers: []BufferSpec{
+			{Name: "u", Bytes: bytes, HostInit: true, Output: true},
+			{Name: "twiddle", Bytes: kb(64), HostInit: true},
+		},
+		ops: func(w *Workload, b Binding, cta, warp int) *program {
+			bu, bt := b.Get("u"), b.Get("twiddle")
+			lines := bytes / lineBytes
+			return &program{total: 24, f: func(i int) gpu.WarpOp {
+				pass := uint(i/4) % 12
+				self := w.streamIndex(bu, cta, warp, i%6)
+				partner := self ^ (uint64(1) << pass)
+				switch i % 4 {
+				case 0:
+					return gpu.WarpOp{Compute: 10, Kind: gpu.OpLoad, Addrs: []mem.Addr{
+						lineAt(bu, self%lines), lineAt(bu, partner%lines),
+					}}
+				case 1:
+					return gpu.WarpOp{Compute: 6, Kind: gpu.OpLoad,
+						Addrs: []mem.Addr{byteLine(bt, w.rnd(cta, warp, i, 0))}}
+				default:
+					return gpu.WarpOp{Compute: 8, Kind: gpu.OpStore,
+						Addrs: []mem.Addr{lineAt(bu, self%lines)}}
+				}
+			}}
+		},
+		host: func(w *Workload, b Binding, iter int) cpu.Trace {
+			// Host-side data reordering between FFT dimension passes: one
+			// pass over the (GPU-written) u array.
+			bu := b.Get("u")
+			total := int(bu.Size / 64)
+			return &hostProgram{total: total, f: func(i int) cpu.Op {
+				return cpu.Op{Instrs: 6, HasMem: true,
+					Addr:  bu.Base + mem.Addr((uint64(i)*64)%bu.Size),
+					Write: i%4 == 3}
+			}}
+		},
+	}
+}
+
+// RAY — ray tracing (GPGPU-sim suite), 1024x1024 screen: compute-heavy
+// with incoherent scene reads concentrated near the BVH root.
+func newRAY(scale float64) *Workload {
+	pixels := scaleInt(1024*1024, scale, 1<<14, 1<<10)
+	return &Workload{
+		Abbr: "RAY", FullName: "Ray Tracing", InputDesc: "1024x1024 screen",
+		ctas: pixels / 2048, threads: 256, seed: 0x4A4, iterations: 1,
+		buffers: []BufferSpec{
+			{Name: "scene", Bytes: kb(2048), HostInit: true},
+			{Name: "frame", Bytes: uint64(pixels) * 4, Output: true},
+		},
+		ops: func(w *Workload, b Binding, cta, warp int) *program {
+			bs, bf := b.Get("scene"), b.Get("frame")
+			return &program{total: 32, f: func(i int) gpu.WarpOp {
+				switch i % 4 {
+				case 0, 1: // traversal: heavy compute per node
+					return gpu.WarpOp{Compute: 28, Kind: gpu.OpLoad,
+						Addrs: []mem.Addr{zipfLine(bs, w.rnd(cta, warp, i, 0))}}
+				case 2:
+					return gpu.WarpOp{Compute: 36}
+				default:
+					return gpu.WarpOp{Compute: 12, Kind: gpu.OpStore,
+						Addrs: []mem.Addr{w.stream(bf, cta, warp, i/4)}}
+				}
+			}}
+		},
+	}
+}
+
+// STO — StoreGPU (GPGPU-sim suite), 26 MB file: streaming hash computation
+// over a large input with a small digest output.
+func newSTO(scale float64) *Workload {
+	bytes := uint64(scaleInt(26<<20, scale, 1<<20, 1<<10))
+	return &Workload{
+		Abbr: "STO", FullName: "Store GPU", InputDesc: "26MB file",
+		ctas: int(bytes / (64 << 10)), threads: 256, seed: 0x570, iterations: 1,
+		buffers: []BufferSpec{
+			{Name: "file", Bytes: bytes, HostInit: true},
+			{Name: "digest", Bytes: bytes / 64, Output: true},
+		},
+		ops: func(w *Workload, b Binding, cta, warp int) *program {
+			bfile, bd := b.Get("file"), b.Get("digest")
+			return &program{total: 40, f: func(i int) gpu.WarpOp {
+				if i%5 == 4 {
+					return gpu.WarpOp{Compute: 8, Kind: gpu.OpStore,
+						Addrs: []mem.Addr{w.stream(bd, cta, warp, i/5)}}
+				}
+				return gpu.WarpOp{Compute: 16, Kind: gpu.OpLoad, Addrs: []mem.Addr{
+					w.stream(bfile, cta, warp, i*2),
+					w.stream(bfile, cta, warp, i*2+1),
+				}}
+			}}
+		},
+	}
+}
+
+// CP — Coulombic Potential (Parboil via GPGPU-sim), 512x256 grid, 100
+// atoms: compute-bound; the atom table lives in cache, so scaling is
+// near-ideal (Fig. 19).
+func newCP(scale float64) *Workload {
+	points := scaleInt(512*256, scale, 1<<13, 1<<10)
+	return &Workload{
+		Abbr: "CP", FullName: "Coulombic Potential", InputDesc: "512x256 grid, 100 atoms",
+		ctas: points / 128, threads: 256, seed: 0xC9, iterations: 1,
+		buffers: []BufferSpec{
+			{Name: "atoms", Bytes: kb(4), HostInit: true},
+			{Name: "grid", Bytes: uint64(points) * 4, Output: true},
+		},
+		ops: func(w *Workload, b Binding, cta, warp int) *program {
+			ba, bg := b.Get("atoms"), b.Get("grid")
+			return &program{total: 28, f: func(i int) gpu.WarpOp {
+				switch {
+				case i == 27:
+					return gpu.WarpOp{Compute: 10, Kind: gpu.OpStore,
+						Addrs: []mem.Addr{w.stream(bg, cta, warp, 0)}}
+				case i%7 == 0: // atom table: tiny, hits L1 after warm-up
+					return gpu.WarpOp{Compute: 30, Kind: gpu.OpLoad,
+						Addrs: []mem.Addr{lineAt(ba, uint64(i/7))}}
+				default:
+					return gpu.WarpOp{Compute: 44}
+				}
+			}}
+		},
+	}
+}

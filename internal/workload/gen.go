@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"memnet/internal/cpu"
+	"memnet/internal/gpu"
+	"memnet/internal/mem"
+)
+
+// program is a lazily generated warp instruction stream: op i is produced
+// by calling f(i), so traces are never materialized in full.
+type program struct {
+	n     int
+	total int
+	f     func(i int) gpu.WarpOp
+}
+
+// Next implements gpu.WarpTrace.
+func (p *program) Next() (gpu.WarpOp, bool) {
+	if p.n >= p.total {
+		return gpu.WarpOp{}, false
+	}
+	op := p.f(p.n)
+	p.n++
+	return op, true
+}
+
+// splitmix64 is a strong 64-bit mixing function; all workload "randomness"
+// derives from it so traces are reproducible everywhere.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// rnd derives a per-(workload, cta, warp, op, salt) hash.
+func (w *Workload) rnd(cta, warp, op, salt int) uint64 {
+	x := w.seed
+	x = splitmix64(x ^ uint64(cta)*0x9e3779b97f4a7c15)
+	x = splitmix64(x ^ uint64(warp)*0xc2b2ae3d27d4eb4f)
+	x = splitmix64(x ^ uint64(op)*0x165667b19e3779f9)
+	return splitmix64(x ^ uint64(salt))
+}
+
+const lineBytes = 128 // GPU cache line / coalescing granularity
+
+// lineAt returns the addr of the idx-th 128B line of buf, wrapping.
+func lineAt(buf mem.Buffer, idx uint64) mem.Addr {
+	lines := buf.Size / lineBytes
+	if lines == 0 {
+		lines = 1
+	}
+	return buf.Base + mem.Addr((idx%lines)*lineBytes)
+}
+
+// byteLine returns the line containing byte offset off of buf, wrapping.
+func byteLine(buf mem.Buffer, off uint64) mem.Addr {
+	if buf.Size == 0 {
+		return buf.Base
+	}
+	a := buf.Base + mem.Addr(off%buf.Size)
+	return a &^ (lineBytes - 1)
+}
+
+// zipfLine returns a line index skewed toward the start of the buffer
+// (hot roots / shared scene data): squaring a uniform fraction puts half
+// the accesses in the first quarter of the buffer.
+func zipfLine(buf mem.Buffer, h uint64) mem.Addr {
+	lines := buf.Size / lineBytes
+	if lines == 0 {
+		lines = 1
+	}
+	u := float64(h%1000003) / 1000003.0
+	idx := uint64(u * u * float64(lines))
+	return lineAt(buf, idx)
+}
+
+// streamIndex returns the line index for a streaming access: the buffer is
+// divided evenly among all warps of the grid so the whole-kernel footprint
+// matches the buffer exactly; adjacent CTAs own adjacent regions, which is
+// the inter-CTA locality the static chunked CTA assignment exploits
+// (Section III-B). op walks the warp's region, wrapping on re-reference.
+func (w *Workload) streamIndex(buf mem.Buffer, cta, warp, op int) uint64 {
+	warps := w.threads / 32
+	if warps < 1 {
+		warps = 1
+	}
+	totalWarps := uint64(w.ctas * warps)
+	lines := buf.Size / lineBytes
+	if lines == 0 {
+		lines = 1
+	}
+	region := lines / totalWarps
+	if region == 0 {
+		region = 1
+	}
+	flat := uint64(cta*warps + warp)
+	return (flat*region + uint64(op)%region) % lines
+}
+
+// stream returns the address for streamIndex.
+func (w *Workload) stream(buf mem.Buffer, cta, warp, op int) mem.Addr {
+	return lineAt(buf, w.streamIndex(buf, cta, warp, op))
+}
+
+// hostProgram builds a cpu.Trace from a generator function.
+type hostProgram struct {
+	n     int
+	total int
+	f     func(i int) cpu.Op
+}
+
+// Next implements cpu.Trace.
+func (p *hostProgram) Next() (cpu.Op, bool) {
+	if p.n >= p.total {
+		return cpu.Op{}, false
+	}
+	op := p.f(p.n)
+	p.n++
+	return op, true
+}

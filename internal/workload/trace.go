@@ -1,0 +1,296 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"memnet/internal/gpu"
+	"memnet/internal/mem"
+)
+
+// This file implements kernel-trace capture and replay, so users can run
+// their own memory traces through the simulator instead of the built-in
+// Table II generators (e.g. traces captured from real applications with an
+// external profiler).
+//
+// The format is line-oriented text:
+//
+//	# comment
+//	kernel <name> <numCTAs> <threadsPerCTA>
+//	buffer <name> <bytes> <hostinit:0|1> <output:0|1>
+//	warp <cta> <warp>
+//	c <cycles>                      (pure compute)
+//	l <cycles> <bufRef>:<off> ...   (load: one or more coalesced lines)
+//	s <cycles> <bufRef>:<off> ...   (store)
+//	a <cycles> <bufRef>:<off> ...   (atomic)
+//
+// Addresses are buffer-relative (<bufRef> is the buffer's name), so traces
+// stay valid under any placement policy.
+
+// TraceKernel is a kernel loaded from (or about to be saved to) a trace.
+type TraceKernel struct {
+	name    string
+	ctas    int
+	threads int
+	buffers []BufferSpec
+	// ops[cta][warp] holds that warp's instruction list.
+	ops map[[2]int][]traceOp
+}
+
+type traceOp struct {
+	kind    gpu.OpKind
+	compute int
+	refs    []traceRef
+}
+
+type traceRef struct {
+	buf string
+	off uint64
+}
+
+// Name implements gpu.Kernel (via Bind).
+func (k *TraceKernel) Name() string { return k.name }
+
+// NumCTAs returns the grid size.
+func (k *TraceKernel) NumCTAs() int { return k.ctas }
+
+// ThreadsPerCTA returns the CTA shape.
+func (k *TraceKernel) ThreadsPerCTA() int { return k.threads }
+
+// Buffers lists the buffers the trace requires.
+func (k *TraceKernel) Buffers() []BufferSpec { return k.buffers }
+
+// Bind resolves the trace's buffer-relative addresses against allocated
+// buffers and returns a launchable kernel.
+func (k *TraceKernel) Bind(b Binding) (gpu.Kernel, error) {
+	for _, spec := range k.buffers {
+		if _, ok := b[spec.Name]; !ok {
+			return nil, fmt.Errorf("workload: trace buffer %q not bound", spec.Name)
+		}
+	}
+	return &boundTrace{k: k, b: b}, nil
+}
+
+type boundTrace struct {
+	k *TraceKernel
+	b Binding
+}
+
+func (t *boundTrace) Name() string       { return t.k.name }
+func (t *boundTrace) NumCTAs() int       { return t.k.ctas }
+func (t *boundTrace) ThreadsPerCTA() int { return t.k.threads }
+
+func (t *boundTrace) WarpTrace(cta, warp int) gpu.WarpTrace {
+	ops := t.k.ops[[2]int{cta, warp}]
+	return &program{total: len(ops), f: func(i int) gpu.WarpOp {
+		op := ops[i]
+		out := gpu.WarpOp{Compute: op.compute, Kind: op.kind}
+		for _, r := range op.refs {
+			buf := t.b.Get(r.buf)
+			off := r.off
+			if buf.Size > 0 {
+				off %= buf.Size
+			}
+			out.Addrs = append(out.Addrs, (buf.Base+mem.Addr(off))&^(lineBytes-1))
+		}
+		return out
+	}}
+}
+
+// FromTrace wraps a loaded trace kernel as a Workload, so a captured or
+// externally generated trace runs through the full system driver exactly
+// like a built-in benchmark (no host-compute phases, one iteration).
+func FromTrace(k *TraceKernel) *Workload {
+	return &Workload{
+		Abbr:       k.name,
+		FullName:   "trace: " + k.name,
+		InputDesc:  "replayed trace",
+		ctas:       k.ctas,
+		threads:    k.threads,
+		iterations: 1,
+		buffers:    k.buffers,
+		ops: func(w *Workload, b Binding, cta, warp int) *program {
+			bound, err := k.Bind(b)
+			if err != nil {
+				panic(err) // binding is validated at system build time
+			}
+			tr := bound.WarpTrace(cta, warp)
+			ops := k.ops[[2]int{cta, warp}]
+			return &program{total: len(ops), f: func(int) gpu.WarpOp {
+				op, _ := tr.Next()
+				return op
+			}}
+		},
+	}
+}
+
+// ReadTrace parses a kernel trace.
+func ReadTrace(r io.Reader) (*TraceKernel, error) {
+	k := &TraceKernel{ops: make(map[[2]int][]traceOp)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var cur [2]int
+	haveWarp := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		fail := func(msg string) error {
+			return fmt.Errorf("workload: trace line %d: %s: %q", lineNo, msg, line)
+		}
+		switch f[0] {
+		case "kernel":
+			if len(f) != 4 {
+				return nil, fail("want: kernel <name> <ctas> <threads>")
+			}
+			k.name = f[1]
+			var err1, err2 error
+			k.ctas, err1 = strconv.Atoi(f[2])
+			k.threads, err2 = strconv.Atoi(f[3])
+			if err1 != nil || err2 != nil || k.ctas <= 0 || k.threads <= 0 {
+				return nil, fail("bad grid")
+			}
+		case "buffer":
+			if len(f) != 5 {
+				return nil, fail("want: buffer <name> <bytes> <hostinit> <output>")
+			}
+			bytes, err := strconv.ParseUint(f[2], 10, 64)
+			if err != nil || bytes == 0 {
+				return nil, fail("bad size")
+			}
+			k.buffers = append(k.buffers, BufferSpec{
+				Name: f[1], Bytes: bytes,
+				HostInit: f[3] == "1", Output: f[4] == "1",
+			})
+		case "warp":
+			if len(f) != 3 {
+				return nil, fail("want: warp <cta> <warp>")
+			}
+			cta, err1 := strconv.Atoi(f[1])
+			wrp, err2 := strconv.Atoi(f[2])
+			if err1 != nil || err2 != nil {
+				return nil, fail("bad warp id")
+			}
+			cur = [2]int{cta, wrp}
+			haveWarp = true
+		case "c", "l", "s", "a":
+			if !haveWarp {
+				return nil, fail("op before any warp directive")
+			}
+			if len(f) < 2 {
+				return nil, fail("missing compute cycles")
+			}
+			cycles, err := strconv.Atoi(f[1])
+			if err != nil || cycles < 0 {
+				return nil, fail("bad cycles")
+			}
+			op := traceOp{compute: cycles}
+			switch f[0] {
+			case "c":
+				op.kind = gpu.OpCompute
+			case "l":
+				op.kind = gpu.OpLoad
+			case "s":
+				op.kind = gpu.OpStore
+			case "a":
+				op.kind = gpu.OpAtomic
+			}
+			if op.kind != gpu.OpCompute && len(f) < 3 {
+				return nil, fail("memory op without addresses")
+			}
+			for _, ref := range f[2:] {
+				parts := strings.SplitN(ref, ":", 2)
+				if len(parts) != 2 {
+					return nil, fail("want <buffer>:<offset>")
+				}
+				off, err := strconv.ParseUint(parts[1], 10, 64)
+				if err != nil {
+					return nil, fail("bad offset")
+				}
+				op.refs = append(op.refs, traceRef{buf: parts[0], off: off})
+			}
+			k.ops[cur] = append(k.ops[cur], op)
+		default:
+			return nil, fail("unknown directive")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if k.ctas == 0 {
+		return nil, fmt.Errorf("workload: trace has no kernel directive")
+	}
+	if len(k.buffers) == 0 {
+		return nil, fmt.Errorf("workload: trace declares no buffers")
+	}
+	return k, nil
+}
+
+// WriteTrace captures every warp of a built-in workload's kernel into the
+// trace format, enabling archival and external analysis of the generated
+// streams. The binding must map each buffer (used to convert addresses
+// back to buffer-relative form).
+func WriteTrace(w io.Writer, wl *Workload, b Binding) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# memnet kernel trace: %s (%s)\n", wl.Abbr, wl.FullName)
+	fmt.Fprintf(bw, "kernel %s %d %d\n", wl.Abbr, wl.NumCTAs(), wl.ThreadsPerCTA())
+	for _, spec := range wl.Buffers() {
+		h, o := 0, 0
+		if spec.HostInit {
+			h = 1
+		}
+		if spec.Output {
+			o = 1
+		}
+		fmt.Fprintf(bw, "buffer %s %d %d %d\n", spec.Name, spec.Bytes, h, o)
+	}
+	toRef := func(a mem.Addr) (string, uint64, error) {
+		for _, spec := range wl.Buffers() {
+			buf := b.Get(spec.Name)
+			if buf.Contains(a) {
+				return spec.Name, uint64(a - buf.Base), nil
+			}
+		}
+		return "", 0, fmt.Errorf("workload: address %#x outside all buffers", uint64(a))
+	}
+	k := wl.Kernel(b)
+	warps := (wl.ThreadsPerCTA() + 31) / 32
+	for cta := 0; cta < wl.NumCTAs(); cta++ {
+		for warp := 0; warp < warps; warp++ {
+			fmt.Fprintf(bw, "warp %d %d\n", cta, warp)
+			tr := k.WarpTrace(cta, warp)
+			for {
+				op, ok := tr.Next()
+				if !ok {
+					break
+				}
+				tag := "c"
+				switch op.Kind {
+				case gpu.OpLoad:
+					tag = "l"
+				case gpu.OpStore:
+					tag = "s"
+				case gpu.OpAtomic:
+					tag = "a"
+				}
+				fmt.Fprintf(bw, "%s %d", tag, op.Compute)
+				for _, a := range op.Addrs {
+					name, off, err := toRef(a)
+					if err != nil {
+						return err
+					}
+					fmt.Fprintf(bw, " %s:%d", name, off)
+				}
+				fmt.Fprintln(bw)
+			}
+		}
+	}
+	return bw.Flush()
+}

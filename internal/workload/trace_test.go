@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"memnet/internal/gpu"
+	"memnet/internal/mem"
+)
+
+const sampleTrace = `
+# a tiny two-CTA kernel
+kernel demo 2 64
+buffer in 8192 1 0
+buffer out 8192 0 1
+warp 0 0
+l 4 in:0 in:128
+c 8
+s 2 out:0
+warp 0 1
+l 4 in:4096
+s 2 out:4096
+warp 1 0
+a 2 out:256
+warp 1 1
+c 16
+`
+
+func TestReadTraceParses(t *testing.T) {
+	k, err := ReadTrace(strings.NewReader(sampleTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Name() != "demo" || k.NumCTAs() != 2 || k.ThreadsPerCTA() != 64 {
+		t.Fatalf("kernel header wrong: %s %d %d", k.Name(), k.NumCTAs(), k.ThreadsPerCTA())
+	}
+	if len(k.Buffers()) != 2 {
+		t.Fatalf("buffers = %d, want 2", len(k.Buffers()))
+	}
+	if !k.Buffers()[0].HostInit || !k.Buffers()[1].Output {
+		t.Fatal("buffer flags wrong")
+	}
+}
+
+func TestTraceBindAndReplay(t *testing.T) {
+	k, err := ReadTrace(strings.NewReader(sampleTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := Binding{
+		"in":  mem.Buffer{Name: "in", Base: 1 << 20, Size: 8192},
+		"out": mem.Buffer{Name: "out", Base: 2 << 20, Size: 8192},
+	}
+	kern, err := k.Bind(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := kern.WarpTrace(0, 0)
+	op1, ok := tr.Next()
+	if !ok || op1.Kind != gpu.OpLoad || len(op1.Addrs) != 2 {
+		t.Fatalf("first op = %+v", op1)
+	}
+	if op1.Addrs[0] != 1<<20 || op1.Addrs[1] != 1<<20+128 {
+		t.Fatalf("load addrs = %v", op1.Addrs)
+	}
+	op2, _ := tr.Next()
+	if op2.Kind != gpu.OpCompute || op2.Compute != 8 {
+		t.Fatalf("second op = %+v", op2)
+	}
+	op3, _ := tr.Next()
+	if op3.Kind != gpu.OpStore || op3.Addrs[0] != 2<<20 {
+		t.Fatalf("third op = %+v", op3)
+	}
+	if _, ok := tr.Next(); ok {
+		t.Fatal("warp 0/0 should have exactly 3 ops")
+	}
+	// A warp not in the trace yields an empty stream.
+	if _, ok := kern.WarpTrace(9, 9).Next(); ok {
+		t.Fatal("unknown warp should be empty")
+	}
+}
+
+func TestTraceBindRejectsMissingBuffer(t *testing.T) {
+	k, _ := ReadTrace(strings.NewReader(sampleTrace))
+	if _, err := k.Bind(Binding{}); err == nil {
+		t.Fatal("bind with no buffers accepted")
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"nonsense 1 2",
+		"kernel x 0 64",
+		"kernel x 4 64\nbuffer b 0 0 0",
+		"kernel x 4 64\nbuffer b 64 0 0\nl 4 b:0", // op before warp
+		"kernel x 4 64\nbuffer b 64 0 0\nwarp 0 0\nl 4 noColon",
+		"kernel x 4 64\nbuffer b 64 0 0\nwarp 0 0\nl 4", // mem op, no addr
+		"buffer b 64 0 0\nwarp 0 0\nc 4",                // no kernel line
+		"kernel x 4 64",                                 // no buffers
+	}
+	for _, tr := range bad {
+		if _, err := ReadTrace(strings.NewReader(tr)); err == nil {
+			t.Errorf("garbage accepted: %q", tr)
+		}
+	}
+}
+
+func TestWriteTraceRoundTrip(t *testing.T) {
+	// Capture a built-in workload, re-read it, and verify the replayed
+	// ops match the generator's exactly.
+	wl, err := New("SRAD", 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := bind(wl)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, wl, b); err != nil {
+		t.Fatal(err)
+	}
+	k2, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k2.NumCTAs() != wl.NumCTAs() || k2.ThreadsPerCTA() != wl.ThreadsPerCTA() {
+		t.Fatal("grid changed across round trip")
+	}
+	bound, err := k2.Bind(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := wl.Kernel(b)
+	for cta := 0; cta < min(4, wl.NumCTAs()); cta++ {
+		t1 := orig.WarpTrace(cta, 0)
+		t2 := bound.WarpTrace(cta, 0)
+		for {
+			o1, ok1 := t1.Next()
+			o2, ok2 := t2.Next()
+			if ok1 != ok2 {
+				t.Fatalf("cta %d: trace lengths differ", cta)
+			}
+			if !ok1 {
+				break
+			}
+			if o1.Kind != o2.Kind || o1.Compute != o2.Compute || len(o1.Addrs) != len(o2.Addrs) {
+				t.Fatalf("cta %d: op mismatch %+v vs %+v", cta, o1, o2)
+			}
+			for i := range o1.Addrs {
+				if o1.Addrs[i] != o2.Addrs[i] {
+					t.Fatalf("cta %d: addr mismatch %#x vs %#x", cta, uint64(o1.Addrs[i]), uint64(o2.Addrs[i]))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// Package workload synthesizes the evaluation workloads of Table II of the
+// paper (plus vectorAdd, used in Fig. 7) as deterministic trace generators.
+//
+// The original paper ran CUDA binaries under GPGPU-sim; a Go reproduction
+// cannot execute CUDA, so each workload is modeled by a generator that
+// reproduces the properties the paper's results depend on:
+//
+//   - grid shape (CTA count, threads per CTA) — load balance across GPUs,
+//   - memory intensity (memory ops per compute cycle) — interconnect
+//     sensitivity,
+//   - spatial pattern (streaming, stencil, butterfly strides, irregular,
+//     hot working sets) — cache hit rates and traffic distribution,
+//   - input/output footprints — memcpy cost in Fig. 14,
+//   - host-thread computation for CG.S and FT.S — the Fig. 18 overlay
+//     study.
+//
+// All randomness is hash-derived from (workload seed, CTA, warp, op), so
+// every architecture sees byte-identical traces.
+package workload
+
+import (
+	"fmt"
+
+	"memnet/internal/cpu"
+	"memnet/internal/gpu"
+	"memnet/internal/mem"
+)
+
+// BufferSpec declares one data buffer of a workload.
+type BufferSpec struct {
+	Name     string
+	Bytes    uint64
+	HostInit bool // initialized by the host: must be H2D-copied (or zero-copy accessed)
+	Output   bool // read back by the host: D2H-copied after the kernel
+}
+
+// Binding maps buffer names to their allocated virtual ranges.
+type Binding map[string]mem.Buffer
+
+// Get returns the named buffer or panics: a missing binding is a harness
+// bug, not a runtime condition.
+func (b Binding) Get(name string) mem.Buffer {
+	buf, ok := b[name]
+	if !ok {
+		panic(fmt.Sprintf("workload: unbound buffer %q", name))
+	}
+	return buf
+}
+
+// Workload is one benchmark instance at a given scale.
+type Workload struct {
+	Abbr      string
+	FullName  string
+	InputDesc string
+
+	ctas    int
+	threads int
+	seed    uint64
+
+	buffers []BufferSpec
+
+	// ops returns the op program for one warp.
+	ops func(w *Workload, b Binding, cta, warp int) *program
+
+	// host, if non-nil, produces the host-thread compute trace executed
+	// between kernel iterations (CG.S and FT.S).
+	host func(w *Workload, b Binding, iter int) cpu.Trace
+
+	// iterations is the number of kernel launches per run.
+	iterations int
+}
+
+// NumCTAs returns the grid size.
+func (w *Workload) NumCTAs() int { return w.ctas }
+
+// ThreadsPerCTA returns the CTA shape.
+func (w *Workload) ThreadsPerCTA() int { return w.threads }
+
+// Iterations returns the number of kernel launches in one run.
+func (w *Workload) Iterations() int { return w.iterations }
+
+// Buffers lists the workload's data buffers.
+func (w *Workload) Buffers() []BufferSpec { return w.buffers }
+
+// HasHostCompute reports whether the workload exercises the host CPU
+// between kernels (CG.S and FT.S; Section VI-B2, Fig. 18).
+func (w *Workload) HasHostCompute() bool { return w.host != nil }
+
+// HostTrace returns the host compute trace for one iteration, or nil.
+func (w *Workload) HostTrace(b Binding, iter int) cpu.Trace {
+	if w.host == nil {
+		return nil
+	}
+	return w.host(w, b, iter)
+}
+
+// H2DBytes returns the total bytes copied host-to-device before execution.
+func (w *Workload) H2DBytes() uint64 {
+	var n uint64
+	for _, b := range w.buffers {
+		if b.HostInit {
+			n += b.Bytes
+		}
+	}
+	return n
+}
+
+// D2HBytes returns the bytes copied back after execution.
+func (w *Workload) D2HBytes() uint64 {
+	var n uint64
+	for _, b := range w.buffers {
+		if b.Output {
+			n += b.Bytes
+		}
+	}
+	return n
+}
+
+// Kernel adapts the workload to the GPU model for the given binding.
+func (w *Workload) Kernel(b Binding) gpu.Kernel {
+	return &kernelAdapter{w: w, b: b}
+}
+
+type kernelAdapter struct {
+	w *Workload
+	b Binding
+}
+
+func (k *kernelAdapter) Name() string       { return k.w.Abbr }
+func (k *kernelAdapter) NumCTAs() int       { return k.w.ctas }
+func (k *kernelAdapter) ThreadsPerCTA() int { return k.w.threads }
+func (k *kernelAdapter) WarpTrace(cta, warp int) gpu.WarpTrace {
+	return k.w.ops(k.w, k.b, cta, warp)
+}
+
+// Names returns all workload abbreviations in Table II order, with
+// vectorAdd ("VA") appended.
+func Names() []string {
+	return []string{"BP", "BFS", "SRAD", "KMN", "BH", "SP", "SCAN",
+		"3DFD", "FWT", "CG.S", "FT.S", "RAY", "STO", "CP", "VA"}
+}
+
+// New builds the named workload at the given scale (1.0 = the default
+// simulation size; the paper's full input sizes are impractical for pure
+// software simulation, so sizes are scaled while preserving shape).
+func New(abbr string, scale float64) (*Workload, error) {
+	f, ok := registry[abbr]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown workload %q (known: %v)", abbr, Names())
+	}
+	if scale <= 0 {
+		return nil, fmt.Errorf("workload: scale must be positive, got %v", scale)
+	}
+	return f(scale), nil
+}
+
+var registry = map[string]func(scale float64) *Workload{}
+
+func register(abbr string, f func(scale float64) *Workload) {
+	registry[abbr] = f
+}
+
+// scaleInt scales n, keeping at least min and rounding to a multiple of
+// quantum.
+func scaleInt(n int, scale float64, min, quantum int) int {
+	v := int(float64(n) * scale)
+	if quantum > 1 {
+		v = (v / quantum) * quantum
+	}
+	if v < min {
+		v = min
+	}
+	return v
+}

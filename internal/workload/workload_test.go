@@ -1,0 +1,304 @@
+package workload
+
+import (
+	"testing"
+
+	"memnet/internal/gpu"
+	"memnet/internal/mem"
+)
+
+// bind allocates a synthetic binding: each buffer gets a disjoint range.
+func bind(w *Workload) Binding {
+	b := make(Binding)
+	var next mem.Addr = 1 << 20
+	for _, spec := range w.Buffers() {
+		b[spec.Name] = mem.Buffer{Name: spec.Name, Base: next, Size: spec.Bytes}
+		next += mem.Addr(spec.Bytes)
+		next = (next + 4095) &^ 4095
+	}
+	return b
+}
+
+func TestAllWorkloadsConstruct(t *testing.T) {
+	for _, name := range Names() {
+		w, err := New(name, 1.0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if w.Abbr != name {
+			t.Errorf("%s: Abbr = %q", name, w.Abbr)
+		}
+		if w.NumCTAs() <= 0 || w.ThreadsPerCTA() <= 0 || w.ThreadsPerCTA() > 1024 {
+			t.Errorf("%s: bad grid %dx%d", name, w.NumCTAs(), w.ThreadsPerCTA())
+		}
+		if len(w.Buffers()) == 0 {
+			t.Errorf("%s: no buffers", name)
+		}
+		if w.Iterations() < 1 {
+			t.Errorf("%s: iterations = %d", name, w.Iterations())
+		}
+		if w.H2DBytes() == 0 {
+			t.Errorf("%s: nothing to copy host-to-device", name)
+		}
+		if w.D2HBytes() == 0 {
+			t.Errorf("%s: no output buffer", name)
+		}
+	}
+}
+
+func TestUnknownWorkloadAndBadScale(t *testing.T) {
+	if _, err := New("NOPE", 1); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if _, err := New("VA", 0); err == nil {
+		t.Fatal("zero scale accepted")
+	}
+}
+
+func TestTracesStayInBounds(t *testing.T) {
+	for _, name := range Names() {
+		w, _ := New(name, 0.25)
+		b := bind(w)
+		k := w.Kernel(b)
+		inAnyBuffer := func(a mem.Addr) bool {
+			for _, buf := range b {
+				if buf.Contains(a) {
+					return true
+				}
+			}
+			return false
+		}
+		ops := 0
+		for cta := 0; cta < min(k.NumCTAs(), 6); cta++ {
+			for warp := 0; warp < 2; warp++ {
+				tr := k.WarpTrace(cta, warp)
+				for {
+					op, ok := tr.Next()
+					if !ok {
+						break
+					}
+					ops++
+					if op.Compute < 0 {
+						t.Fatalf("%s: negative compute", name)
+					}
+					for _, a := range op.Addrs {
+						if !inAnyBuffer(a) {
+							t.Fatalf("%s: cta %d warp %d: address %#x outside all buffers",
+								name, cta, warp, uint64(a))
+						}
+						if a%128 != 0 {
+							t.Fatalf("%s: address %#x not line-aligned", name, uint64(a))
+						}
+					}
+					if op.Kind != gpu.OpCompute && len(op.Addrs) == 0 {
+						t.Fatalf("%s: memory op without addresses", name)
+					}
+				}
+			}
+		}
+		if ops == 0 {
+			t.Fatalf("%s: traces empty", name)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestTracesDeterministic(t *testing.T) {
+	w1, _ := New("BFS", 1)
+	w2, _ := New("BFS", 1)
+	b1, b2 := bind(w1), bind(w2)
+	t1 := w1.Kernel(b1).WarpTrace(3, 1)
+	t2 := w2.Kernel(b2).WarpTrace(3, 1)
+	for {
+		op1, ok1 := t1.Next()
+		op2, ok2 := t2.Next()
+		if ok1 != ok2 {
+			t.Fatal("trace lengths differ")
+		}
+		if !ok1 {
+			break
+		}
+		if op1.Kind != op2.Kind || op1.Compute != op2.Compute || len(op1.Addrs) != len(op2.Addrs) {
+			t.Fatal("traces differ between identical constructions")
+		}
+		for i := range op1.Addrs {
+			if op1.Addrs[i] != op2.Addrs[i] {
+				t.Fatal("trace addresses differ")
+			}
+		}
+	}
+}
+
+func TestScaleChangesFootprint(t *testing.T) {
+	small, _ := New("BP", 0.25)
+	large, _ := New("BP", 1.0)
+	if small.H2DBytes() >= large.H2DBytes() {
+		t.Fatal("scale did not grow buffers")
+	}
+	if small.NumCTAs() >= large.NumCTAs() {
+		t.Fatal("scale did not grow the grid")
+	}
+}
+
+func TestCGHasFewCTAsAndHostCompute(t *testing.T) {
+	w, _ := New("CG.S", 1)
+	if w.NumCTAs() > 16 {
+		t.Fatalf("CG.S has %d CTAs; the paper's point is that it has too few", w.NumCTAs())
+	}
+	if !w.HasHostCompute() {
+		t.Fatal("CG.S must exercise the host CPU")
+	}
+	if w.Iterations() < 2 {
+		t.Fatal("CG.S should iterate kernel+host phases")
+	}
+	tr := w.HostTrace(bind(w), 0)
+	n := 0
+	for {
+		if _, ok := tr.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n == 0 {
+		t.Fatal("host trace is empty")
+	}
+}
+
+func TestOnlyCGAndFTHaveHostCompute(t *testing.T) {
+	for _, name := range Names() {
+		w, _ := New(name, 1)
+		want := name == "CG.S" || name == "FT.S"
+		if w.HasHostCompute() != want {
+			t.Errorf("%s: HasHostCompute = %v, want %v", name, w.HasHostCompute(), want)
+		}
+	}
+}
+
+func TestKMNHasAtomics(t *testing.T) {
+	w, _ := New("KMN", 1)
+	b := bind(w)
+	k := w.Kernel(b)
+	atomics := 0
+	for cta := 0; cta < 4; cta++ {
+		tr := k.WarpTrace(cta, 0)
+		for {
+			op, ok := tr.Next()
+			if !ok {
+				break
+			}
+			if op.Kind == gpu.OpAtomic {
+				atomics++
+			}
+		}
+	}
+	if atomics == 0 {
+		t.Fatal("KMN should issue atomic operations")
+	}
+}
+
+func TestCPIsComputeBound(t *testing.T) {
+	w, _ := New("CP", 1)
+	b := bind(w)
+	tr := w.Kernel(b).WarpTrace(0, 0)
+	var compute, memOps int
+	for {
+		op, ok := tr.Next()
+		if !ok {
+			break
+		}
+		compute += op.Compute
+		memOps += len(op.Addrs)
+	}
+	if compute < memOps*30 {
+		t.Fatalf("CP compute/mem = %d/%d; must be strongly compute-bound", compute, memOps)
+	}
+}
+
+func TestBPIsMemoryBound(t *testing.T) {
+	w, _ := New("BP", 1)
+	b := bind(w)
+	tr := w.Kernel(b).WarpTrace(0, 0)
+	var compute, memOps int
+	for {
+		op, ok := tr.Next()
+		if !ok {
+			break
+		}
+		compute += op.Compute
+		memOps += len(op.Addrs)
+	}
+	if compute > memOps*4 {
+		t.Fatalf("BP compute/mem = %d/%d; must be memory-bound", compute, memOps)
+	}
+}
+
+func TestMissingBindingPanics(t *testing.T) {
+	w, _ := New("VA", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unbound buffer did not panic")
+		}
+	}()
+	w.Kernel(Binding{}).WarpTrace(0, 0)
+}
+
+func TestVariedCTAWorkInCG(t *testing.T) {
+	// CG.S rows have heavy-tailed nonzero counts: op totals must vary
+	// across CTAs (the source of the Fig. 10b traffic imbalance).
+	w, _ := New("CG.S", 1)
+	b := bind(w)
+	counts := map[int]bool{}
+	for cta := 0; cta < w.NumCTAs(); cta++ {
+		tr := w.Kernel(b).WarpTrace(cta, 0)
+		n := 0
+		for {
+			if _, ok := tr.Next(); !ok {
+				break
+			}
+			n++
+		}
+		counts[n] = true
+	}
+	if len(counts) < 2 {
+		t.Fatal("all CG.S CTAs have identical op counts; no imbalance")
+	}
+}
+
+func TestQuickTracesInBoundsAcrossScales(t *testing.T) {
+	// Property: at any scale, the first warps of every workload stay
+	// inside their buffers with line-aligned addresses.
+	for _, scale := range []float64{0.07, 0.33, 1.0, 2.5} {
+		for _, name := range Names() {
+			w, err := New(name, scale)
+			if err != nil {
+				t.Fatalf("%s@%v: %v", name, scale, err)
+			}
+			b := bind(w)
+			k := w.Kernel(b)
+			tr := k.WarpTrace(w.NumCTAs()-1, 0) // last CTA: boundary case
+			for {
+				op, ok := tr.Next()
+				if !ok {
+					break
+				}
+				for _, a := range op.Addrs {
+					in := false
+					for _, buf := range b {
+						if buf.Contains(a) {
+							in = true
+						}
+					}
+					if !in || a%128 != 0 {
+						t.Fatalf("%s@%v: bad address %#x", name, scale, uint64(a))
+					}
+				}
+			}
+		}
+	}
+}
