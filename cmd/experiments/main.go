@@ -7,19 +7,30 @@
 //	experiments -exp fig14 -scale 0.5
 //	experiments -exp fig19 -gpus 1,2,4,8,16
 //	experiments -exp fig10,fig12
+//	experiments -exp all -par 8     # fan runs out over 8 workers
+//	experiments -exp fig14 -cpuprofile cpu.pprof
 //
 // Known experiments: fig7 fig10 fig12 fig14 fig15 fig16 fig17 fig18 fig19
-// ctasched table2.
+// ctasched placement table2.
+//
+// Each experiment's runs are independent simulations; -par (default:
+// MEMNET_PAR or the CPU count) selects how many execute concurrently.
+// Output is byte-identical at any parallelism. Wall-clock, aggregate
+// compute time and the achieved speedup are reported on stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"memnet/internal/exp"
+	"memnet/internal/par"
 )
 
 func main() {
@@ -27,7 +38,15 @@ func main() {
 	scale := flag.Float64("scale", 0.25, "workload scale (1.0 = default simulation size)")
 	gpus := flag.String("gpus", "1,2,4,8,16", "GPU counts for fig19")
 	workloads := flag.String("workloads", "", "comma-separated workload subset (default: per-figure set)")
+	parFlag := flag.Int("par", 0, "concurrent simulations (0 = MEMNET_PAR env or CPU count)")
+	quiet := flag.Bool("quiet", false, "suppress per-experiment timing on stderr")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile after the sweep to this file")
 	flag.Parse()
+
+	if *parFlag > 0 {
+		par.SetParallelism(*parFlag)
+	}
 
 	var wls []string
 	if *workloads != "" {
@@ -42,109 +61,172 @@ func main() {
 		gpuCounts = append(gpuCounts, n)
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	// The experiment table: each entry renders its figure to stdout. Order
+	// matches the paper's evaluation section.
+	type experiment struct {
+		name string
+		run  func() (string, error)
+	}
+	exps := []experiment{
+		{"table2", func() (string, error) { return exp.TableII(), nil }},
+		{"fig7", func() (string, error) {
+			r, err := exp.Fig7(*scale)
+			return stringer(r, err)
+		}},
+		{"fig10", func() (string, error) {
+			rs, err := exp.Fig10(*scale)
+			if err != nil {
+				return "", err
+			}
+			var b strings.Builder
+			for _, r := range rs {
+				fmt.Fprintln(&b, r)
+			}
+			return strings.TrimSuffix(b.String(), "\n"), nil
+		}},
+		{"fig12", func() (string, error) {
+			rows, err := exp.Fig12()
+			if err != nil {
+				return "", err
+			}
+			return exp.Fig12String(rows), nil
+		}},
+		{"fig14", func() (string, error) {
+			r, err := exp.Fig14(*scale, wls)
+			return stringer(r, err)
+		}},
+		{"fig15", func() (string, error) {
+			rows, err := exp.Fig15(*scale)
+			if err != nil {
+				return "", err
+			}
+			return exp.Fig15String(rows), nil
+		}},
+		{"fig16", func() (string, error) {
+			sel := wls
+			if len(sel) == 0 {
+				sel = []string{"BP", "KMN", "BFS", "SRAD", "FWT", "CP"}
+			}
+			rows, err := exp.Fig16(*scale, sel)
+			if err != nil {
+				return "", err
+			}
+			var b strings.Builder
+			fmt.Fprintln(&b, exp.TopoRowsString(rows))
+			perf := exp.GeomeanBy(rows, "sMESH", "sFBFLY", func(r exp.TopoRow) float64 { return float64(r.Kernel) })
+			en := exp.GeomeanBy(rows, "sMESH", "sFBFLY", func(r exp.TopoRow) float64 { return r.EnergyJ })
+			fmt.Fprintf(&b, "sFBFLY vs sMESH: %.2fx faster, %.1f%% network energy saved (geomean)\n", perf, 100*(1-1/en))
+			return b.String(), nil
+		}},
+		{"fig18", func() (string, error) {
+			rows, err := exp.Fig18(*scale)
+			if err != nil {
+				return "", err
+			}
+			return exp.Fig18String(rows), nil
+		}},
+		{"fig19", func() (string, error) {
+			rows, gm, err := exp.Fig19(*scale, gpuCounts)
+			if err != nil {
+				return "", err
+			}
+			return exp.Fig19String(rows, gm), nil
+		}},
+		{"placement", func() (string, error) {
+			rows, err := exp.Placement(*scale, wls)
+			if err != nil {
+				return "", err
+			}
+			return exp.PlacementString(rows), nil
+		}},
+		{"ctasched", func() (string, error) {
+			rows, err := exp.CTASched(*scale, wls)
+			if err != nil {
+				return "", err
+			}
+			return exp.SchedString(rows), nil
+		}},
+	}
+
 	want := map[string]bool{}
 	for _, e := range strings.Split(*which, ",") {
 		want[strings.TrimSpace(e)] = true
 	}
+	// fig16 and fig17 share the same runs and table.
+	if want["fig17"] {
+		want["fig16"] = true
+	}
 	all := want["all"]
-	ran := 0
 
-	if all || want["table2"] {
-		fmt.Println(exp.TableII())
-		ran++
-	}
-	if all || want["fig7"] {
-		r, err := exp.Fig7(*scale)
+	ran := 0
+	sweepStart := time.Now()
+	sweepBusy := par.BusyTime()
+	for _, e := range exps {
+		if !all && !want[e.name] {
+			continue
+		}
+		start := time.Now()
+		busy := par.BusyTime()
+		out, err := e.run()
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Println(r)
-		ran++
-	}
-	if all || want["fig10"] {
-		rs, err := exp.Fig10(*scale)
-		if err != nil {
-			fatal(err)
+		fmt.Println(out)
+		if !*quiet {
+			report(e.name, time.Since(start), par.BusyTime()-busy)
 		}
-		for _, r := range rs {
-			fmt.Println(r)
-		}
-		ran++
-	}
-	if all || want["fig12"] {
-		rows, err := exp.Fig12()
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(exp.Fig12String(rows))
-		ran++
-	}
-	if all || want["fig14"] {
-		r, err := exp.Fig14(*scale, wls)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(r)
-		ran++
-	}
-	if all || want["fig15"] {
-		rows, err := exp.Fig15(*scale)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(exp.Fig15String(rows))
-		ran++
-	}
-	if all || want["fig16"] || want["fig17"] {
-		sel := wls
-		if len(sel) == 0 {
-			sel = []string{"BP", "KMN", "BFS", "SRAD", "FWT", "CP"}
-		}
-		rows, err := exp.Fig16(*scale, sel)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(exp.TopoRowsString(rows))
-		perf := exp.GeomeanBy(rows, "sMESH", "sFBFLY", func(r exp.TopoRow) float64 { return float64(r.Kernel) })
-		en := exp.GeomeanBy(rows, "sMESH", "sFBFLY", func(r exp.TopoRow) float64 { return r.EnergyJ })
-		fmt.Printf("sFBFLY vs sMESH: %.2fx faster, %.1f%% network energy saved (geomean)\n\n", perf, 100*(1-1/en))
-		ran++
-	}
-	if all || want["fig18"] {
-		rows, err := exp.Fig18(*scale)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(exp.Fig18String(rows))
-		ran++
-	}
-	if all || want["fig19"] {
-		rows, gm, err := exp.Fig19(*scale, gpuCounts)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(exp.Fig19String(rows, gm))
-		ran++
-	}
-	if all || want["placement"] {
-		rows, err := exp.Placement(*scale, wls)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(exp.PlacementString(rows))
-		ran++
-	}
-	if all || want["ctasched"] {
-		rows, err := exp.CTASched(*scale, wls)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(exp.SchedString(rows))
 		ran++
 	}
 	if ran == 0 {
 		fatal(fmt.Errorf("unknown experiment %q", *which))
 	}
+	if !*quiet && ran > 1 {
+		report("total", time.Since(sweepStart), par.BusyTime()-sweepBusy)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// report prints one timing line: elapsed wall clock, the simulation time
+// summed over all workers, and their ratio (the achieved speedup from
+// fanning runs out; 1.0x means fully sequential).
+func report(name string, wall, busy time.Duration) {
+	speedup := 1.0
+	if wall > 0 && busy > 0 {
+		speedup = busy.Seconds() / wall.Seconds()
+	}
+	fmt.Fprintf(os.Stderr, "[%s] wall %.2fs, compute %.2fs, speedup %.2fx (par %d)\n",
+		name, wall.Seconds(), busy.Seconds(), speedup, par.Parallelism())
+}
+
+// stringer narrows a (fmt.Stringer, error) pair to (string, error).
+func stringer(s fmt.Stringer, err error) (string, error) {
+	if err != nil {
+		return "", err
+	}
+	return s.String(), nil
 }
 
 func fatal(err error) {

@@ -7,15 +7,24 @@
 // Scale selects the workload input size (1.0 = the repository's default
 // simulation size). The paper's absolute sizes are impractical in pure
 // software simulation; the experiments preserve relative behavior.
+//
+// Every figure is a matrix of independent core.Run invocations; each
+// function below describes its matrix as a job list and submits it to the
+// internal/par worker pool, so a sweep uses every core the machine has
+// (internal/par.SetParallelism / MEMNET_PAR / cmd/experiments -par select
+// the width). Results are assembled in job order, so the rendered tables
+// are byte-identical at any parallelism.
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"memnet/internal/core"
 	"memnet/internal/noc"
+	"memnet/internal/par"
 	"memnet/internal/sim"
 	"memnet/internal/ske"
 	"memnet/internal/stats"
@@ -24,6 +33,15 @@ import (
 
 // us converts picoseconds to microseconds for display.
 func us(t sim.Time) float64 { return float64(t) / 1e6 }
+
+// runAll fans a list of run configurations out across the worker pool and
+// returns the results in job order.
+func runAll(cfgs []core.Config) ([]*core.Result, error) {
+	return par.Map(context.Background(), 0, len(cfgs),
+		func(_ context.Context, i int) (*core.Result, error) {
+			return core.Run(cfgs[i])
+		})
+}
 
 // Fig14Workloads are the Table II workloads evaluated in Fig. 14.
 func Fig14Workloads() []string {
@@ -55,7 +73,7 @@ type Fig7Result struct {
 
 // Fig7 runs the Fig. 7 experiment.
 func Fig7(scale float64) (*Fig7Result, error) {
-	run := func(arch core.Arch, k int, pcieBW float64) (sim.Time, error) {
+	config := func(arch core.Arch, k int, pcieBW float64) core.Config {
 		cfg := core.DefaultConfig(arch, "VA")
 		cfg.Scale = scale
 		cfg.ExecGPUs = 1
@@ -67,26 +85,24 @@ func Fig7(scale float64) (*Fig7Result, error) {
 		if pcieBW > 0 {
 			cfg.PCIe.BytesPerSec = pcieBW
 		}
-		res, err := core.Run(cfg)
-		if err != nil {
-			return 0, err
-		}
-		return res.Kernel, nil
+		return cfg
+	}
+	ks := []int{1, 2, 4}
+	var cfgs []core.Config
+	for _, k := range ks {
+		cfgs = append(cfgs, config(core.PCIe, k, 8e9)) // the Fig. 7a machine is PCIe v2
+	}
+	for _, k := range ks {
+		cfgs = append(cfgs, config(core.GMN, k, 0))
+	}
+	results, err := runAll(cfgs)
+	if err != nil {
+		return nil, err
 	}
 	out := &Fig7Result{}
-	for _, k := range []int{1, 2, 4} {
-		t, err := run(core.PCIe, k, 8e9) // the Fig. 7a machine is PCIe v2
-		if err != nil {
-			return nil, err
-		}
-		out.PCIe = append(out.PCIe, Fig7Point{DataGPUs: k, Kernel: t})
-	}
-	for _, k := range []int{1, 2, 4} {
-		t, err := run(core.GMN, k, 0)
-		if err != nil {
-			return nil, err
-		}
-		out.GMN = append(out.GMN, Fig7Point{DataGPUs: k, Kernel: t})
+	for i, k := range ks {
+		out.PCIe = append(out.PCIe, Fig7Point{DataGPUs: k, Kernel: results[i].Kernel})
+		out.GMN = append(out.GMN, Fig7Point{DataGPUs: k, Kernel: results[len(ks)+i].Kernel})
 	}
 	norm := func(ps []Fig7Point) {
 		base := float64(ps[0].Kernel)
@@ -129,14 +145,20 @@ type Fig10Result struct {
 // Fig10 measures traffic distributions for KMN (near-uniform) and CG.S
 // (imbalanced) on the 4GPU-16HMC system.
 func Fig10(scale float64) ([]*Fig10Result, error) {
-	var out []*Fig10Result
-	for _, wl := range []string{"KMN", "CG.S"} {
+	workloads := []string{"KMN", "CG.S"}
+	var cfgs []core.Config
+	for _, wl := range workloads {
 		cfg := core.DefaultConfig(core.GMN, wl)
 		cfg.Scale = scale
-		res, err := core.Run(cfg)
-		if err != nil {
-			return nil, err
-		}
+		cfgs = append(cfgs, cfg)
+	}
+	results, err := runAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Fig10Result
+	for i, wl := range workloads {
+		cfg, res := cfgs[i], results[i]
 		m := res.Traffic
 		// Keep GPU terminals x GPU-cluster HMC routers only.
 		g := cfg.NumGPUs
@@ -207,25 +229,32 @@ type Fig12Row struct {
 
 // Fig12 counts bidirectional router channels for dFBFLY vs sFBFLY.
 func Fig12() ([]Fig12Row, error) {
-	var out []Fig12Row
-	for _, g := range []int{2, 4, 8, 16} {
-		count := func(kind noc.TopoKind) (int, error) {
+	sizes := []int{2, 4, 8, 16}
+	type job struct {
+		gpus int
+		kind noc.TopoKind
+	}
+	var jobs []job
+	for _, g := range sizes {
+		jobs = append(jobs, job{g, noc.TopoDFBFLY}, job{g, noc.TopoSFBFLY})
+	}
+	counts, err := par.Map(context.Background(), 0, len(jobs),
+		func(_ context.Context, i int) (int, error) {
 			b, err := noc.BuildTopology(sim.NewEngine(), noc.DefaultConfig(), noc.TopoSpec{
-				Kind: kind, Clusters: g, LocalPerCluster: 4, TermChannels: 8, CPUCluster: -1,
+				Kind: jobs[i].kind, Clusters: jobs[i].gpus,
+				LocalPerCluster: 4, TermChannels: 8, CPUCluster: -1,
 			})
 			if err != nil {
 				return 0, err
 			}
 			return b.BidirRouterChannels(), nil
-		}
-		d, err := count(noc.TopoDFBFLY)
-		if err != nil {
-			return nil, err
-		}
-		s, err := count(noc.TopoSFBFLY)
-		if err != nil {
-			return nil, err
-		}
+		})
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig12Row
+	for i, g := range sizes {
+		d, s := counts[2*i], counts[2*i+1]
 		out = append(out, Fig12Row{GPUs: g, DFBFLY: d, SFBFLY: s,
 			Reduction: 1 - float64(s)/float64(d)})
 	}
@@ -272,22 +301,39 @@ func Fig14(scale float64, workloads []string) (*Fig14Result, error) {
 	if len(workloads) == 0 {
 		workloads = Fig14Workloads()
 	}
-	out := &Fig14Result{}
+	archs := core.Architectures()
+	type job struct {
+		wl   string
+		arch core.Arch
+	}
+	var jobs []job
 	for _, wl := range workloads {
-		row := Fig14Row{Workload: wl}
-		for _, arch := range core.Architectures() {
-			cfg := core.DefaultConfig(arch, wl)
+		for _, arch := range archs {
+			jobs = append(jobs, job{wl, arch})
+		}
+	}
+	cells, err := par.Map(context.Background(), 0, len(jobs),
+		func(_ context.Context, i int) (Fig14Cell, error) {
+			cfg := core.DefaultConfig(jobs[i].arch, jobs[i].wl)
 			cfg.Scale = scale
 			res, err := core.Run(cfg)
 			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", wl, arch, err)
+				return Fig14Cell{}, fmt.Errorf("%s/%s: %w", jobs[i].wl, jobs[i].arch, err)
 			}
-			row.Cells = append(row.Cells, Fig14Cell{
-				Arch: arch.String(), H2D: res.H2D, Kernel: res.Kernel,
+			return Fig14Cell{
+				Arch: jobs[i].arch.String(), H2D: res.H2D, Kernel: res.Kernel,
 				Host: res.Host, D2H: res.D2H, Total: res.Total,
-			})
-		}
-		out.Rows = append(out.Rows, row)
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig14Result{}
+	for r, wl := range workloads {
+		out.Rows = append(out.Rows, Fig14Row{
+			Workload: wl,
+			Cells:    cells[r*len(archs) : (r+1)*len(archs)],
+		})
 	}
 	return out, nil
 }
@@ -374,28 +420,37 @@ type Fig15Row struct {
 // Fig15 evaluates routing on dDFLY and dFBFLY for representative
 // workloads (KMN and CP show ~no gain; CG.S gains from adaptivity).
 func Fig15(scale float64) ([]Fig15Row, error) {
-	var out []Fig15Row
+	type pair struct {
+		topo noc.TopoKind
+		wl   string
+	}
+	var pairs []pair
+	var cfgs []core.Config
 	for _, topo := range []noc.TopoKind{noc.TopoDDFLY, noc.TopoDFBFLY} {
 		for _, wl := range []string{"KMN", "CP", "CG.S"} {
-			var times [2]sim.Time
-			for i, ugal := range []bool{false, true} {
+			pairs = append(pairs, pair{topo, wl})
+			for _, ugal := range []bool{false, true} {
 				cfg := core.DefaultConfig(core.GMN, wl)
 				cfg.Scale = scale
 				cfg.Topo = topo
 				cfg.UGAL = ugal
 				cfg.Adaptive = ugal
-				res, err := core.Run(cfg)
-				if err != nil {
-					return nil, err
-				}
-				times[i] = res.Kernel
+				cfgs = append(cfgs, cfg)
 			}
-			out = append(out, Fig15Row{
-				Workload: wl, Topo: topo.String(),
-				MinTime: times[0], UGALTime: times[1],
-				Gain: 1 - float64(times[1])/float64(times[0]),
-			})
 		}
+	}
+	results, err := runAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig15Row
+	for i, p := range pairs {
+		min, ugal := results[2*i].Kernel, results[2*i+1].Kernel
+		out = append(out, Fig15Row{
+			Workload: p.wl, Topo: p.topo.String(),
+			MinTime: min, UGALTime: ugal,
+			Gain: 1 - float64(ugal)/float64(min),
+		})
 	}
 	return out, nil
 }
@@ -449,20 +504,33 @@ func Fig16(scale float64, workloads []string) ([]TopoRow, error) {
 	if len(workloads) == 0 {
 		workloads = Fig14Workloads()
 	}
-	var out []TopoRow
+	topos := Fig16Topos()
+	type job struct {
+		wl   string
+		name string
+		mult int
+	}
+	var jobs []job
+	var cfgs []core.Config
 	for _, wl := range workloads {
-		for _, tp := range Fig16Topos() {
+		for _, tp := range topos {
 			cfg := core.DefaultConfig(core.GMN, wl)
 			cfg.Scale = scale
 			cfg.Topo = tp.Kind
 			cfg.TopoMultiplier = tp.Mult
-			res, err := core.Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, TopoRow{Workload: wl, Topo: tp.Name, Mult: tp.Mult,
-				Kernel: res.Kernel, EnergyJ: res.NetEnergyJ, Channels: res.RouterChannels})
+			jobs = append(jobs, job{wl, tp.Name, tp.Mult})
+			cfgs = append(cfgs, cfg)
 		}
+	}
+	results, err := runAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	var out []TopoRow
+	for i, j := range jobs {
+		res := results[i]
+		out = append(out, TopoRow{Workload: j.wl, Topo: j.name, Mult: j.mult,
+			Kernel: res.Kernel, EnergyJ: res.NetEnergyJ, Channels: res.RouterChannels})
 	}
 	return out, nil
 }
@@ -526,7 +594,12 @@ func Fig18(scale float64) ([]Fig18Row, error) {
 		{"sFBFLY", noc.TopoSFBFLY, false},
 		{"overlay", noc.TopoSFBFLY, true},
 	}
-	var out []Fig18Row
+	type job struct {
+		wl     string
+		design string
+	}
+	var jobs []job
+	var cfgs []core.Config
 	for _, wl := range []string{"CG.S", "FT.S"} {
 		for _, d := range designs {
 			cfg := core.DefaultConfig(core.UMN, wl)
@@ -534,12 +607,17 @@ func Fig18(scale float64) ([]Fig18Row, error) {
 			cfg.NumGPUs = 3 // 1CPU-3GPU-16HMC
 			cfg.Topo = d.topo
 			cfg.Overlay = d.overlay
-			res, err := core.Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, Fig18Row{Workload: wl, Design: d.name, HostTime: res.Host})
+			jobs = append(jobs, job{wl, d.name})
+			cfgs = append(cfgs, cfg)
 		}
+	}
+	results, err := runAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig18Row
+	for i, j := range jobs {
+		out = append(out, Fig18Row{Workload: j.wl, Design: j.design, HostTime: results[i].Host})
 	}
 	return out, nil
 }
@@ -573,11 +651,9 @@ func Fig19(scale float64, gpuCounts []int) ([]Fig19Row, float64, error) {
 	if len(gpuCounts) == 0 {
 		gpuCounts = []int{1, 2, 4, 8, 16}
 	}
-	var out []Fig19Row
-	var lastSpeedups []float64
-	for _, wl := range ScalabilityWorkloads() {
-		row := Fig19Row{Workload: wl, GPUs: gpuCounts}
-		var base sim.Time
+	workloads := ScalabilityWorkloads()
+	var cfgs []core.Config
+	for _, wl := range workloads {
 		for _, g := range gpuCounts {
 			cfg := core.DefaultConfig(core.UMN, wl)
 			cfg.Scale = scale
@@ -588,14 +664,21 @@ func Fig19(scale float64, gpuCounts []int) ([]Fig19Row, float64, error) {
 			cfg.GPU.LaunchLatency = 0
 			cfg.SKE.PageTableSync = 0
 			cfg.NumGPUs = g
-			res, err := core.Run(cfg)
-			if err != nil {
-				return nil, 0, err
-			}
-			if g == gpuCounts[0] {
-				base = res.Kernel
-			}
-			row.Speedup = append(row.Speedup, float64(base)/float64(res.Kernel))
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results, err := runAll(cfgs)
+	if err != nil {
+		return nil, 0, err
+	}
+	var out []Fig19Row
+	var lastSpeedups []float64
+	for w, wl := range workloads {
+		row := Fig19Row{Workload: wl, GPUs: gpuCounts}
+		base := results[w*len(gpuCounts)].Kernel
+		for g := range gpuCounts {
+			row.Speedup = append(row.Speedup,
+				float64(base)/float64(results[w*len(gpuCounts)+g].Kernel))
 		}
 		lastSpeedups = append(lastSpeedups, row.Speedup[len(row.Speedup)-1])
 		out = append(out, row)
@@ -641,20 +724,31 @@ func CTASched(scale float64, workloads []string) ([]SchedRow, error) {
 	if len(workloads) == 0 {
 		workloads = []string{"SRAD", "BP", "KMN", "3DFD"}
 	}
-	var out []SchedRow
+	type job struct {
+		wl  string
+		pol ske.Policy
+	}
+	var jobs []job
+	var cfgs []core.Config
 	for _, wl := range workloads {
 		for _, pol := range []ske.Policy{ske.StaticChunk, ske.RoundRobin, ske.StaticSteal} {
 			cfg := core.DefaultConfig(core.UMN, wl)
 			cfg.Scale = scale
 			cfg.Sched = pol
-			res, err := core.Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, SchedRow{Workload: wl, Policy: pol.String(),
-				Kernel: res.Kernel, L1Hit: res.L1HitRate, L2Hit: res.L2HitRate,
-				Stolen: res.CTAsStolen})
+			jobs = append(jobs, job{wl, pol})
+			cfgs = append(cfgs, cfg)
 		}
+	}
+	results, err := runAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	var out []SchedRow
+	for i, j := range jobs {
+		res := results[i]
+		out = append(out, SchedRow{Workload: j.wl, Policy: j.pol.String(),
+			Kernel: res.Kernel, L1Hit: res.L1HitRate, L2Hit: res.L2HitRate,
+			Stolen: res.CTAsStolen})
 	}
 	return out, nil
 }
@@ -705,23 +799,33 @@ func Placement(scale float64, workloads []string) ([]PlacementRow, error) {
 	if len(workloads) == 0 {
 		workloads = []string{"BP", "SRAD", "VA", "BFS"}
 	}
-	var out []PlacementRow
+	type job struct {
+		wl     string
+		policy string
+	}
+	var jobs []job
+	var cfgs []core.Config
 	for _, wl := range workloads {
 		for _, oc := range []bool{false, true} {
 			cfg := core.DefaultConfig(core.GMN, wl)
 			cfg.Scale = scale
 			cfg.OwnerCompute = oc
-			res, err := core.Run(cfg)
-			if err != nil {
-				return nil, err
-			}
 			name := "random"
 			if oc {
 				name = "owner-compute"
 			}
-			out = append(out, PlacementRow{Workload: wl, Policy: name,
-				Kernel: res.Kernel, AvgHops: res.AvgHops})
+			jobs = append(jobs, job{wl, name})
+			cfgs = append(cfgs, cfg)
 		}
+	}
+	results, err := runAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	var out []PlacementRow
+	for i, j := range jobs {
+		out = append(out, PlacementRow{Workload: j.wl, Policy: j.policy,
+			Kernel: results[i].Kernel, AvgHops: results[i].AvgHops})
 	}
 	return out, nil
 }

@@ -1,0 +1,168 @@
+// Package par fans independent simulation runs out across OS threads.
+//
+// Every figure of the evaluation is a matrix of fully independent
+// core.Run invocations: each builds its own engine, network and devices
+// and shares no mutable state with any other run (per-instance rand.Rand,
+// no package-level mutable variables). The pool exploits that: it runs a
+// job list on up to Parallelism goroutines while keeping the observable
+// behavior identical to a sequential loop —
+//
+//   - results are returned in job-index order, regardless of which worker
+//     finished first;
+//   - on failure the error of the *lowest-indexed* failing job is
+//     returned, exactly what a sequential loop would have surfaced;
+//   - once any job fails, the shared context is cancelled and jobs that
+//     have not started are skipped.
+//
+// The default parallelism is the MEMNET_PAR environment variable, or
+// runtime.NumCPU() when unset; cmd/experiments overrides it with -par.
+package par
+
+import (
+	"context"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// defaultParallelism is the pool width used when a caller passes p <= 0.
+// Guarded by defaultMu; read on every Map call.
+var (
+	defaultMu          sync.RWMutex
+	defaultParallelism = initialParallelism()
+)
+
+// initialParallelism resolves the MEMNET_PAR environment variable, falling
+// back to runtime.NumCPU().
+func initialParallelism() int {
+	if s := os.Getenv("MEMNET_PAR"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.NumCPU()
+}
+
+// Parallelism returns the current default pool width.
+func Parallelism() int {
+	defaultMu.RLock()
+	defer defaultMu.RUnlock()
+	return defaultParallelism
+}
+
+// SetParallelism sets the default pool width (n < 1 is clamped to 1) and
+// returns the previous value so callers can restore it.
+func SetParallelism(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	prev := defaultParallelism
+	defaultParallelism = n
+	return prev
+}
+
+// busyNS accumulates wall-clock nanoseconds spent inside job functions
+// across all pools. cmd/experiments diffs it around an experiment to
+// report the aggregate compute time next to the elapsed wall clock
+// (their ratio is the achieved speedup).
+var busyNS atomic.Int64
+
+// BusyTime returns the cumulative time spent executing jobs since process
+// start, summed over all workers.
+func BusyTime() time.Duration { return time.Duration(busyNS.Load()) }
+
+// Map runs fn(ctx, i) for every i in [0, n) on up to p goroutines and
+// returns the n results in index order. p <= 0 selects the package
+// default (see Parallelism). The returned error is the lowest-indexed
+// job's error, or nil if every job that ran succeeded.
+//
+// The context passed to fn is cancelled as soon as any job fails or the
+// caller's ctx is cancelled; jobs that have not started by then are
+// skipped (their results stay zero-valued, which is unobservable because
+// an error is returned).
+func Map[T any](ctx context.Context, p, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	if n == 0 {
+		return results, nil
+	}
+	if p <= 0 {
+		p = Parallelism()
+	}
+	if p > n {
+		p = n
+	}
+
+	if p == 1 {
+		// Sequential fast path: no goroutines, no atomics beyond the
+		// busy-time meter; identical semantics by construction.
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return results, err
+			}
+			start := time.Now()
+			v, err := fn(ctx, i)
+			busyNS.Add(int64(time.Since(start)))
+			if err != nil {
+				return results, err
+			}
+			results[i] = v
+		}
+		return results, nil
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	errs := make([]error, n)
+	var failed atomic.Bool
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n || cctx.Err() != nil {
+					return
+				}
+				start := time.Now()
+				v, err := fn(cctx, i)
+				busyNS.Add(int64(time.Since(start)))
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					cancel()
+					return
+				}
+				results[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+
+	if failed.Load() {
+		for _, err := range errs {
+			if err != nil {
+				return results, err
+			}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
+	return results, nil
+}
+
+// Do runs n independent jobs for their side effects only.
+func Do(ctx context.Context, p, n int, fn func(ctx context.Context, i int) error) error {
+	_, err := Map(ctx, p, n, func(ctx context.Context, i int) (struct{}, error) {
+		return struct{}{}, fn(ctx, i)
+	})
+	return err
+}

@@ -1,0 +1,166 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapPreservesOrder(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 16} {
+		got, err := Map(context.Background(), p, 100, func(_ context.Context, i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if len(got) != 100 {
+			t.Fatalf("p=%d: len = %d", p, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("p=%d: got[%d] = %d, want %d", p, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapZeroJobs(t *testing.T) {
+	got, err := Map(context.Background(), 4, 0, func(_ context.Context, i int) (int, error) {
+		t.Fatal("fn called for n=0")
+		return 0, nil
+	})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestMapReturnsLowestIndexedError(t *testing.T) {
+	errA := errors.New("job 3 failed")
+	// Every job past 2 fails; the reported error must be job 3's even when
+	// higher-indexed jobs fail first on other workers.
+	errIdx := make([]error, 32)
+	for i := 3; i < 32; i++ {
+		errIdx[i] = fmt.Errorf("job %d failed", i)
+	}
+	errIdx[3] = errA
+	_, err := Map(context.Background(), 8, 32, func(_ context.Context, i int) (int, error) {
+		if errIdx[i] != nil {
+			return 0, errIdx[i]
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	// The reported error must be the lowest-indexed error among the jobs
+	// that actually ran: whatever failed, no successful job (0..2) may
+	// mask it, and with p=1 it must be exactly job 3's.
+	found := false
+	for _, e := range errIdx[3:] {
+		if errors.Is(err, e) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("error = %v, not one of the injected job errors", err)
+	}
+	_, err = Map(context.Background(), 1, 32, func(_ context.Context, i int) (int, error) {
+		if errIdx[i] != nil {
+			return 0, errIdx[i]
+		}
+		return i, nil
+	})
+	if !errors.Is(err, errA) {
+		t.Fatalf("sequential error = %v, want job 3's", err)
+	}
+}
+
+func TestMapSequentialErrorStopsEarly(t *testing.T) {
+	var ran atomic.Int64
+	boom := errors.New("boom")
+	_, err := Map(context.Background(), 1, 10, func(_ context.Context, i int) (int, error) {
+		ran.Add(1)
+		if i == 2 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if ran.Load() != 3 {
+		t.Fatalf("ran %d jobs, want 3 (sequential stop at first error)", ran.Load())
+	}
+}
+
+func TestMapCancellationSkipsUnstartedJobs(t *testing.T) {
+	var ran atomic.Int64
+	boom := errors.New("boom")
+	_, err := Map(context.Background(), 2, 1000, func(ctx context.Context, i int) (int, error) {
+		ran.Add(1)
+		if i <= 1 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n := ran.Load(); n > 100 {
+		t.Fatalf("%d jobs ran after early failure; cancellation did not stop the pool", n)
+	}
+}
+
+func TestMapCallerContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Map(ctx, 4, 8, func(_ context.Context, i int) (int, error) { return i, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSetParallelism(t *testing.T) {
+	prev := SetParallelism(3)
+	defer SetParallelism(prev)
+	if Parallelism() != 3 {
+		t.Fatalf("Parallelism() = %d, want 3", Parallelism())
+	}
+	if back := SetParallelism(0); back != 3 {
+		t.Fatalf("SetParallelism returned %d, want 3", back)
+	}
+	if Parallelism() != 1 {
+		t.Fatalf("Parallelism() after clamp = %d, want 1", Parallelism())
+	}
+}
+
+func TestBusyTimeAccumulates(t *testing.T) {
+	before := BusyTime()
+	_, err := Map(context.Background(), 2, 4, func(_ context.Context, i int) (int, error) {
+		time.Sleep(2 * time.Millisecond)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := BusyTime() - before; d < 8*time.Millisecond {
+		t.Fatalf("BusyTime delta = %v, want >= 8ms (4 jobs x 2ms)", d)
+	}
+}
+
+func TestDoRunsEveryJob(t *testing.T) {
+	var mask atomic.Int64
+	if err := Do(context.Background(), 4, 16, func(_ context.Context, i int) error {
+		mask.Add(1 << i)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if mask.Load() != 1<<16-1 {
+		t.Fatalf("mask = %b, want all 16 bits", mask.Load())
+	}
+}

@@ -11,8 +11,6 @@
 // the order they were scheduled.
 package sim
 
-import "container/heap"
-
 // Time is a simulation timestamp or duration in picoseconds.
 type Time int64
 
@@ -33,23 +31,70 @@ type event struct {
 	fn  func()
 }
 
+// before orders events by timestamp, then by scheduling order. The seq
+// tiebreak makes the order a total one, so heap shape never leaks into
+// execution order.
+func (e *event) before(o *event) bool {
+	return e.at < o.at || (e.at == o.at && e.seq < o.seq)
+}
+
+// eventHeap is a hand-specialized binary min-heap of events. The engine
+// runs one heap operation per scheduled event, so this is the hottest
+// code in the simulator; compared to container/heap it avoids boxing
+// each event into an interface{} (one allocation per Push) and the
+// dynamic dispatch of Less/Swap, moving events with hole-style sifts
+// (one copy per level instead of a swap's three).
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// push inserts ev, sifting the hole up from the tail.
+func (h *eventHeap) push(ev event) {
+	a := append(*h, ev)
+	i := len(a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !ev.before(&a[p]) {
+			break
+		}
+		a[i] = a[p]
+		i = p
 	}
-	return h[i].seq < h[j].seq
+	a[i] = ev
+	*h = a
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+// pop removes and returns the minimum event. The vacated tail slot is
+// zeroed so the popped event's fn closure — and everything it captures:
+// packets, flits, whole component graphs — is not retained by the heap's
+// backing array until that slot happens to be overwritten.
+func (h *eventHeap) pop() event {
+	a := *h
+	top := a[0]
+	n := len(a) - 1
+	last := a[n]
+	a[n] = event{}
+	a = a[:n]
+	*h = a
+	if n == 0 {
+		return top
+	}
+	// Sift the hole at the root down, then drop last into it.
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && a[r].before(&a[c]) {
+			c = r
+		}
+		if !a[c].before(&last) {
+			break
+		}
+		a[i] = a[c]
+		i = c
+	}
+	a[i] = last
+	return top
 }
 
 // Engine is a discrete-event scheduler. The zero value is not usable; create
@@ -75,7 +120,7 @@ func (e *Engine) At(t Time, fn func()) {
 		panic("sim: event scheduled in the past")
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	e.events.push(event{at: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d picoseconds from now.
@@ -90,7 +135,7 @@ func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
+	ev := e.events.pop()
 	e.now = ev.at
 	ev.fn()
 	return true
