@@ -29,6 +29,7 @@ import (
 	"strings"
 	"time"
 
+	"memnet/internal/core"
 	"memnet/internal/exp"
 	"memnet/internal/par"
 )
@@ -42,7 +43,9 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress per-experiment timing on stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile after the sweep to this file")
+	auditFlag := flag.Bool("audit", false, "check conservation invariants at every phase boundary of every run (results are byte-identical either way)")
 	flag.Parse()
+	core.SetAuditDefault(*auditFlag)
 
 	if *parFlag > 0 {
 		par.SetParallelism(*parFlag)

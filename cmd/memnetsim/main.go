@@ -35,7 +35,9 @@ func main() {
 	traffic := flag.Bool("traffic", false, "print the GPU-to-HMC traffic matrix")
 	jsonOut := flag.Bool("json", false, "emit the full result as JSON")
 	traceFile := flag.String("trace", "", "replay a kernel trace file instead of a built-in workload")
+	auditFlag := flag.Bool("audit", false, "check conservation invariants at every phase boundary (results are byte-identical either way)")
 	flag.Parse()
+	core.SetAuditDefault(*auditFlag)
 
 	a, err := memnet.ParseArch(*arch)
 	check(err)

@@ -1,0 +1,159 @@
+// Package audit is a zero-dependency invariant registry: simulation
+// components attach named checkers that inspect their internal bookkeeping
+// (flit and credit conservation in the network, CTA accounting in the SKE
+// runtime and GPUs, DRAM row-buffer FSM legality, request/response pairing
+// in the HMCs and the PCIe fabric, event-heap sanity in the engine), and
+// the owning system runs every checker at well-defined instants: phase
+// boundaries, quiescence, end of run.
+//
+// Checkers report violations with component and simulated-time context;
+// the registry collects them so the harness fails loudly instead of
+// letting a silent leak skew every figure of the evaluation.
+//
+// The registry is deliberately passive: checkers only read component
+// state and never schedule events or mutate timing state, so an audited
+// run produces byte-identical figure output to an unaudited one.
+package audit
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Violation is one failed invariant check.
+type Violation struct {
+	Component string
+	At        int64 // simulated time (ps) when the violation was recorded
+	Msg       string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[t=%d ps] %s: %s", v.At, v.Component, v.Msg)
+}
+
+// MaxViolations caps how many violations a registry retains. Past the cap,
+// further reports only increment a dropped counter: one broken invariant
+// typically trips on every later check, and the first few occurrences
+// carry all the diagnostic value.
+const MaxViolations = 64
+
+// Checker inspects one component's invariants and calls report once per
+// violation found. Checkers must not mutate simulation state.
+type Checker func(report func(msg string))
+
+type entry struct {
+	component string
+	fn        Checker
+}
+
+// Registry holds the checkers of one simulated system. Each system owns
+// its own registry (experiment sweeps run many systems concurrently), so
+// there is no global state.
+//
+// A nil *Registry is valid and inert — every method is a no-op — so
+// components can hold an optional registry without nil guards.
+type Registry struct {
+	now     func() int64
+	entries []entry
+	got     []Violation
+	dropped int
+}
+
+// New returns an empty registry. now supplies the simulated timestamp
+// attached to violations; nil means an always-zero clock.
+func New(now func() int64) *Registry {
+	if now == nil {
+		now = func() int64 { return 0 }
+	}
+	return &Registry{now: now}
+}
+
+// Register attaches a checker under a component name. Checkers run in
+// registration order on every Check.
+func (r *Registry) Register(component string, fn Checker) {
+	if r == nil {
+		return
+	}
+	r.entries = append(r.entries, entry{component: component, fn: fn})
+}
+
+// NumCheckers returns the number of registered checkers.
+func (r *Registry) NumCheckers() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.entries)
+}
+
+// Check runs every registered checker once and returns the number of new
+// violations reported (including ones dropped past MaxViolations).
+func (r *Registry) Check() int {
+	if r == nil {
+		return 0
+	}
+	before := len(r.got) + r.dropped
+	for _, e := range r.entries {
+		comp := e.component
+		e.fn(func(msg string) { r.record(comp, msg) })
+	}
+	return len(r.got) + r.dropped - before
+}
+
+// Reportf records a violation directly, outside a Check pass. Components
+// use it for invariants best verified inline at the point of mutation
+// (e.g. a CTA partition audit at launch time).
+func (r *Registry) Reportf(component, format string, args ...interface{}) {
+	if r == nil {
+		return
+	}
+	r.record(component, fmt.Sprintf(format, args...))
+}
+
+func (r *Registry) record(component, msg string) {
+	if len(r.got) >= MaxViolations {
+		r.dropped++
+		return
+	}
+	r.got = append(r.got, Violation{Component: component, At: r.now(), Msg: msg})
+}
+
+// Violations returns the violations recorded so far.
+func (r *Registry) Violations() []Violation {
+	if r == nil {
+		return nil
+	}
+	return r.got
+}
+
+// Err returns nil when no violation has been recorded, or an error whose
+// message lists the first violations (component + simulated time + detail).
+func (r *Registry) Err() error {
+	if r == nil || (len(r.got) == 0 && r.dropped == 0) {
+		return nil
+	}
+	total := len(r.got) + r.dropped
+	var b strings.Builder
+	fmt.Fprintf(&b, "audit: %d invariant violation(s)", total)
+	shown := len(r.got)
+	if shown > 8 {
+		shown = 8
+	}
+	for _, v := range r.got[:shown] {
+		b.WriteString("\n  ")
+		b.WriteString(v.String())
+	}
+	if total > shown {
+		fmt.Fprintf(&b, "\n  ... and %d more", total-shown)
+	}
+	return errors.New(b.String())
+}
+
+// Reset discards recorded violations but keeps the checkers.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.got = nil
+	r.dropped = 0
+}

@@ -1,0 +1,83 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	r.Register("x", func(report func(string)) { report("boom") })
+	if n := r.Check(); n != 0 {
+		t.Fatalf("nil registry Check() = %d, want 0", n)
+	}
+	r.Reportf("x", "boom %d", 1)
+	if r.Err() != nil || r.Violations() != nil || r.NumCheckers() != 0 {
+		t.Fatal("nil registry must report nothing")
+	}
+	r.Reset()
+}
+
+func TestCheckCollectsWithTimeAndComponent(t *testing.T) {
+	now := int64(0)
+	r := New(func() int64 { return now })
+	r.Register("noc", func(report func(string)) {}) // clean checker
+	r.Register("ske", func(report func(string)) { report("leak") })
+	now = 4200
+	if n := r.Check(); n != 1 {
+		t.Fatalf("Check() = %d new violations, want 1", n)
+	}
+	vs := r.Violations()
+	if len(vs) != 1 || vs[0].Component != "ske" || vs[0].At != 4200 || vs[0].Msg != "leak" {
+		t.Fatalf("violation = %+v", vs)
+	}
+	if got := vs[0].String(); !strings.Contains(got, "t=4200") || !strings.Contains(got, "ske") {
+		t.Fatalf("String() = %q, want time and component context", got)
+	}
+	err := r.Err()
+	if err == nil || !strings.Contains(err.Error(), "leak") {
+		t.Fatalf("Err() = %v", err)
+	}
+}
+
+func TestCleanRegistryHasNoError(t *testing.T) {
+	r := New(nil)
+	r.Register("a", func(report func(string)) {})
+	if r.Check() != 0 || r.Err() != nil {
+		t.Fatal("clean checkers must yield no violations")
+	}
+}
+
+func TestViolationsCappedNotUnbounded(t *testing.T) {
+	r := New(nil)
+	r.Register("spam", func(report func(string)) {
+		for i := 0; i < 10*MaxViolations; i++ {
+			report("x")
+		}
+	})
+	n := r.Check()
+	if n != 10*MaxViolations {
+		t.Fatalf("Check() = %d, want all reports counted", n)
+	}
+	if len(r.Violations()) != MaxViolations {
+		t.Fatalf("retained %d violations, want cap %d", len(r.Violations()), MaxViolations)
+	}
+	if err := r.Err(); err == nil || !strings.Contains(err.Error(), "more") {
+		t.Fatalf("Err() = %v, want dropped count mentioned", err)
+	}
+}
+
+func TestReportfAndReset(t *testing.T) {
+	r := New(nil)
+	r.Reportf("launch", "partition covers %d CTAs, want %d", 9, 10)
+	if len(r.Violations()) != 1 {
+		t.Fatal("Reportf did not record")
+	}
+	r.Reset()
+	if r.Err() != nil || len(r.Violations()) != 0 {
+		t.Fatal("Reset did not clear violations")
+	}
+	if r.NumCheckers() != 0 {
+		t.Fatal("registry had no checkers")
+	}
+}

@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"memnet/internal/cpu"
 	"memnet/internal/gpu"
@@ -84,11 +85,52 @@ func (a Arch) hasPCIe() bool {
 // hasGPUNetwork reports whether GPU clusters are interconnected.
 func (a Arch) hasGPUNetwork() bool { return a == GMN || a == GMNZC || a == UMN }
 
+// AuditMode selects whether a system attaches the self-audit layer: the
+// conservation invariants checked at every phase boundary (see package
+// audit). The audit is purely passive — it schedules no events and touches
+// no simulation state — so results are byte-identical with it on or off.
+type AuditMode int
+
+// Audit modes.
+const (
+	// AuditDefault follows the process-wide default: on under `go test`
+	// (tests leave it untouched), off in the CLIs unless -audit is given.
+	AuditDefault AuditMode = iota
+	AuditOn
+	AuditOff
+)
+
+// auditDefault is the process-wide audit default for AuditDefault configs.
+// It starts true so every test-built system self-checks; the CLIs override
+// it from their -audit flag. Atomic because experiment sweeps build systems
+// from many goroutines.
+var auditDefault atomic.Bool
+
+func init() { auditDefault.Store(true) }
+
+// SetAuditDefault sets the process-wide default used by AuditDefault
+// configs.
+func SetAuditDefault(on bool) { auditDefault.Store(on) }
+
+func (c *Config) auditEnabled() bool {
+	switch c.Audit {
+	case AuditOn:
+		return true
+	case AuditOff:
+		return false
+	}
+	return auditDefault.Load()
+}
+
 // Config describes one simulated system and run.
 type Config struct {
 	Arch     Arch
 	Workload string
 	Scale    float64
+
+	// Audit attaches the invariant self-audit layer (AuditDefault follows
+	// the process-wide default set by SetAuditDefault).
+	Audit AuditMode
 
 	// Custom, when non-nil, overrides Workload/Scale with a caller-built
 	// workload — e.g. a replayed kernel trace (workload.FromTrace).

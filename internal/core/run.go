@@ -99,8 +99,24 @@ func (s *System) Execute() (*Result, error) {
 		res.D2H = t
 	}
 	res.Total = res.H2D + res.Kernel + res.Host + res.D2H
+	if err := s.checkAudits("end of run"); err != nil {
+		return nil, err
+	}
 	s.collect(res)
 	return res, nil
+}
+
+// checkAudits runs the registered invariant checkers (a no-op with auditing
+// off) and converts any violations into an error naming the failing point.
+func (s *System) checkAudits(where string) error {
+	if s.aud == nil {
+		return nil
+	}
+	s.aud.Check()
+	if err := s.aud.Err(); err != nil {
+		return fmt.Errorf("core: audit after %s: %w", where, err)
+	}
+	return nil
 }
 
 // runPhase starts a phase and drives the engine until its completion
@@ -112,6 +128,9 @@ func (s *System) runPhase(name string, start func(done func())) (sim.Time, error
 	s.eng.RunWhile(func() bool { return !finished })
 	if !finished {
 		return 0, fmt.Errorf("core: phase %q deadlocked at t=%d ps (no events left)", name, s.eng.Now())
+	}
+	if err := s.checkAudits(fmt.Sprintf("phase %q", name)); err != nil {
+		return 0, err
 	}
 	return s.eng.Now() - t0, nil
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"memnet/internal/audit"
 	"memnet/internal/coherence"
 	"memnet/internal/cpu"
 	"memnet/internal/gpu"
@@ -43,6 +44,11 @@ type System struct {
 	ep     []int // PCIe endpoint per cluster owner
 
 	dir *coherence.Directory
+
+	// aud is the system's invariant registry; nil when auditing is off.
+	// Checks run at phase boundaries, where the engine is between events
+	// and every conservation equation must balance.
+	aud *audit.Registry
 
 	gpuLineFlits int // 128 B / 16 B
 	cpuLineFlits int // 64 B / 16 B
@@ -159,8 +165,39 @@ func NewSystem(cfg Config) (*System, error) {
 	if err := s.allocBuffers(); err != nil {
 		return nil, err
 	}
+	if cfg.auditEnabled() {
+		s.aud = audit.New(func() int64 { return int64(s.eng.Now()) })
+		s.registerAudits()
+	}
 	return s, nil
 }
+
+// registerAudits attaches every subsystem's conservation checkers to the
+// system registry. New components follow the same pattern: implement
+// RegisterAudits and hook it in here.
+func (s *System) registerAudits() {
+	reg := s.aud
+	reg.Register("sim", func(report func(string)) {
+		if err := s.eng.AuditInvariants(); err != nil {
+			report(err.Error())
+		}
+	})
+	s.net.RegisterAudits(reg)
+	s.rt.RegisterAudits(reg)
+	for _, g := range s.gpus {
+		g.RegisterAudits(reg)
+	}
+	for i, h := range s.hmcs {
+		h.RegisterAudits(reg, fmt.Sprintf("hmc%d", i))
+	}
+	if s.fabric != nil {
+		s.fabric.RegisterAudits(reg)
+	}
+}
+
+// Audit returns the system's invariant registry, or nil when auditing is
+// disabled.
+func (s *System) Audit() *audit.Registry { return s.aud }
 
 // Engine exposes the event engine (examples and tests drive it directly).
 func (s *System) Engine() *sim.Engine { return s.eng }

@@ -6,7 +6,11 @@
 // tCL=11, tWR=12, tRAS=22, all in DRAM cycles).
 package dram
 
-import "memnet/internal/sim"
+import (
+	"fmt"
+
+	"memnet/internal/sim"
+)
 
 // Timing holds DRAM timing parameters. Cycle-valued fields are in DRAM
 // clock cycles of period TCK.
@@ -37,12 +41,23 @@ func Table1() Timing {
 
 func (t Timing) cyc(n int) sim.Time { return sim.Time(n) * t.TCK }
 
-// Bank is the timing state of one DRAM bank.
+// maxBankViolations caps how many FSM violations one bank records; a bad
+// controller would otherwise flood memory with identical reports.
+const maxBankViolations = 4
+
+// Bank is the timing state of one DRAM bank, driven as a row-buffer FSM:
+// PRE is legal only with a row open, ACT only with the bank precharged, and
+// column commands only to the open row. Violations indicate a controller
+// bug; they are recorded on the bank for the audit layer to drain rather
+// than panicking, so timing results are still produced.
 type Bank struct {
 	openRow    int64 // -1 when closed
 	actAt      sim.Time
 	colReadyAt sim.Time // earliest next column command (tCCD)
 	preReadyAt sim.Time // earliest next precharge (tWR after writes)
+
+	violations []string
+	dropped    int
 }
 
 // NewBank returns a closed, idle bank.
@@ -60,22 +75,71 @@ func (b *Bank) Precharge() { b.openRow = -1 }
 // RowHit reports whether accessing row would hit the open row buffer.
 func (b *Bank) RowHit(row int64) bool { return b.openRow == row }
 
-// Access issues a read or write to row at the earliest legal time at or
-// after now and returns when the column command issues and when its data
-// completes. minCol lower-bounds the column command time (the vault's
-// shared data bus); row activation may proceed before minCol. The bank
-// state (open row, next-command constraints) is updated.
-func (b *Bank) Access(now sim.Time, row int64, write bool, t *Timing, minCol sim.Time) (issue, done sim.Time) {
+// illegal records an FSM violation, capped at maxBankViolations.
+func (b *Bank) illegal(msg string) {
+	if len(b.violations) < maxBankViolations {
+		b.violations = append(b.violations, msg)
+		return
+	}
+	b.dropped++
+}
+
+// Violations returns the FSM violations recorded so far. A "... more
+// dropped" entry is appended when the per-bank cap was hit.
+func (b *Bank) Violations() []string {
+	out := append([]string(nil), b.violations...)
+	if b.dropped > 0 {
+		out = append(out, fmt.Sprintf("(%d more violations dropped)", b.dropped))
+	}
+	return out
+}
+
+// TakeViolations returns the recorded violations and clears them, so a
+// periodic audit pass reports each violation once.
+func (b *Bank) TakeViolations() []string {
+	out := b.Violations()
+	b.violations = nil
+	b.dropped = 0
+	return out
+}
+
+// PrechargeAt issues PRE at the earliest legal time at or after now —
+// honoring write recovery and tRAS since the activate — and returns when
+// the bank is precharged. PRE to an already-precharged bank is an FSM
+// violation.
+func (b *Bank) PrechargeAt(now sim.Time, t *Timing) sim.Time {
+	if b.openRow < 0 {
+		b.illegal(fmt.Sprintf("PRE at %d ps to an already-precharged bank", now))
+	}
+	pre := maxTime(now, b.preReadyAt)
+	pre = maxTime(pre, b.actAt+t.cyc(t.RAS))
+	b.openRow = -1
+	return pre + t.cyc(t.RP)
+}
+
+// ActivateAt issues ACT for row at now and returns when the row is open
+// (tRCD later). ACT while another row is open is an FSM violation: real
+// DRAM requires an intervening precharge.
+func (b *Bank) ActivateAt(now sim.Time, row int64, t *Timing) sim.Time {
+	if b.openRow >= 0 {
+		b.illegal(fmt.Sprintf("ACT row %d at %d ps while row %d is open", row, now, b.openRow))
+	}
+	b.actAt = now
+	b.openRow = row
+	return now + t.cyc(t.RCD)
+}
+
+// ColumnAt issues the RD/WR column command at the earliest legal time at or
+// after now (tCCD spacing, minCol data-bus bound) and returns when it
+// issues and when its data completes. A column command to anything but the
+// open row is an FSM violation.
+func (b *Bank) ColumnAt(now sim.Time, row int64, write bool, t *Timing, minCol sim.Time) (issue, done sim.Time) {
 	if b.openRow != row {
-		// Precharge (if a row is open), then activate the target row.
-		if b.openRow >= 0 {
-			pre := maxTime(now, b.preReadyAt)
-			pre = maxTime(pre, b.actAt+t.cyc(t.RAS))
-			now = pre + t.cyc(t.RP)
+		op := "RD"
+		if write {
+			op = "WR"
 		}
-		b.actAt = now
-		b.openRow = row
-		now += t.cyc(t.RCD)
+		b.illegal(fmt.Sprintf("%s row %d at %d ps but open row is %d", op, row, now, b.openRow))
 	}
 	issue = maxTime(now, b.colReadyAt)
 	issue = maxTime(issue, minCol)
@@ -88,6 +152,24 @@ func (b *Bank) Access(now sim.Time, row int64, write bool, t *Timing, minCol sim
 		b.preReadyAt = issue + t.cyc(t.Burst)
 	}
 	return issue, done
+}
+
+// Access issues a read or write to row at the earliest legal time at or
+// after now and returns when the column command issues and when its data
+// completes. minCol lower-bounds the column command time (the vault's
+// shared data bus); row activation may proceed before minCol. The bank
+// state (open row, next-command constraints) is updated through the guarded
+// FSM operations, so an illegal sequence is recorded rather than silently
+// mistimed.
+func (b *Bank) Access(now sim.Time, row int64, write bool, t *Timing, minCol sim.Time) (issue, done sim.Time) {
+	if b.openRow != row {
+		// Precharge (if a row is open), then activate the target row.
+		if b.openRow >= 0 {
+			now = b.PrechargeAt(now, t)
+		}
+		now = b.ActivateAt(now, row, t)
+	}
+	return b.ColumnAt(now, row, write, t, minCol)
 }
 
 func maxTime(a, b sim.Time) sim.Time {

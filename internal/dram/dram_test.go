@@ -117,6 +117,69 @@ func TestQuickAccessMonotonicAndLegal(t *testing.T) {
 	}
 }
 
+func TestAccessSequencesRecordNoViolations(t *testing.T) {
+	tm := Table1()
+	b := NewBank()
+	now := sim.Time(0)
+	for _, row := range []int64{1, 1, 2, 3, 3, 3, 1} {
+		issue, done := b.Access(now, row, row%2 == 0, &tm, 0)
+		if issue < now || done < issue {
+			t.Fatalf("non-causal access: now=%d issue=%d done=%d", now, issue, done)
+		}
+		now = done
+	}
+	if v := b.Violations(); len(v) != 0 {
+		t.Fatalf("legal access stream recorded violations: %v", v)
+	}
+}
+
+func TestIllegalFSMTransitionsAreRecorded(t *testing.T) {
+	tm := Table1()
+
+	// ACT while a row is open.
+	b := NewBank()
+	b.ActivateAt(0, 1, &tm)
+	b.ActivateAt(1000, 2, &tm)
+	if v := b.Violations(); len(v) != 1 {
+		t.Fatalf("double ACT: %d violations, want 1 (%v)", len(v), v)
+	}
+
+	// PRE to a precharged bank.
+	b = NewBank()
+	b.PrechargeAt(0, &tm)
+	if v := b.Violations(); len(v) != 1 {
+		t.Fatalf("PRE on closed bank: %d violations, want 1 (%v)", len(v), v)
+	}
+
+	// Column command to a closed bank, then to the wrong row.
+	b = NewBank()
+	b.ColumnAt(0, 5, false, &tm, 0)
+	b.ActivateAt(10000, 6, &tm)
+	b.ColumnAt(20000, 7, true, &tm, 0)
+	if v := b.Violations(); len(v) != 2 {
+		t.Fatalf("bad columns: %d violations, want 2 (%v)", len(v), v)
+	}
+}
+
+func TestBankViolationsCappedAndDrained(t *testing.T) {
+	tm := Table1()
+	b := NewBank()
+	for i := 0; i < 10; i++ {
+		b.ColumnAt(sim.Time(i)*100000, int64(i), false, &tm, 0)
+		b.Precharge()
+	}
+	v := b.Violations()
+	if len(v) != maxBankViolations+1 { // cap plus the "more dropped" marker
+		t.Fatalf("got %d entries, want %d", len(v), maxBankViolations+1)
+	}
+	if got := b.TakeViolations(); len(got) != maxBankViolations+1 {
+		t.Fatalf("TakeViolations returned %d entries", len(got))
+	}
+	if len(b.Violations()) != 0 {
+		t.Fatal("TakeViolations did not drain")
+	}
+}
+
 func TestBankZeroValueViaNewIsClosed(t *testing.T) {
 	b := NewBank()
 	if b.OpenRow() != -1 {

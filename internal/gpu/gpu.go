@@ -18,6 +18,7 @@ package gpu
 import (
 	"fmt"
 
+	"memnet/internal/audit"
 	"memnet/internal/cache"
 	"memnet/internal/mem"
 	"memnet/internal/sim"
@@ -172,6 +173,11 @@ type GPU struct {
 	ctxs []*launchCtx
 	next int // round-robin context pointer for SM filling
 
+	// accepted counts CTAs this GPU is responsible for executing: added by
+	// Launch/AddCTAs, removed by StealCTAs. The audit checks it against
+	// executed + queued + active at every checkpoint.
+	accepted int64
+
 	Stats Stats
 }
 
@@ -271,6 +277,7 @@ func (g *GPU) StealCTAs(n int) []int {
 		cut := len(c.pending) - n
 		stolen := append([]int(nil), c.pending[cut:]...)
 		c.pending = c.pending[:cut]
+		g.accepted -= int64(len(stolen))
 		return stolen
 	}
 	return nil
@@ -281,6 +288,7 @@ func (g *GPU) StealCTAs(n int) []int {
 // (including write-through stores) has drained. Multiple launches may be
 // in flight concurrently; their CTAs space-share the SMs.
 func (g *GPU) Launch(kernel Kernel, ctas []int, onDone func()) {
+	g.accepted += int64(len(ctas))
 	ctx := &launchCtx{kernel: kernel, pending: append([]int(nil), ctas...), onDone: onDone}
 	if len(ctx.pending) == 0 {
 		if onDone != nil {
@@ -297,6 +305,7 @@ func (g *GPU) AddCTAs(ctas []int) {
 	if len(ctas) == 0 {
 		return
 	}
+	g.accepted += int64(len(ctas))
 	for _, c := range g.ctxs {
 		if c.busy() {
 			c.pending = append(c.pending, ctas...)
@@ -435,3 +444,40 @@ func (g *GPU) l2Access(addr mem.Addr, write, atomic bool, done func()) {
 
 // L2CacheStats exposes the shared L2's statistics.
 func (g *GPU) L2CacheStats() *cache.Stats { return &g.l2.Stats }
+
+// RegisterAudits attaches this GPU's bookkeeping checkers to reg. The core
+// invariant is CTA conservation: every CTA the GPU accepted (launches and
+// steals in, steals out) is either executed, queued, or resident on an SM
+// — never duplicated or dropped. Occupancy counters must stay non-negative.
+func (g *GPU) RegisterAudits(reg *audit.Registry) {
+	name := fmt.Sprintf("gpu%d", g.id)
+	reg.Register(name, func(report func(string)) {
+		var queued, active int64
+		for i, c := range g.ctxs {
+			if c.activeCTAs < 0 {
+				report(fmt.Sprintf("context %d has %d active CTAs", i, c.activeCTAs))
+			}
+			if c.memInFlight < 0 {
+				report(fmt.Sprintf("context %d has %d memory ops in flight", i, c.memInFlight))
+			}
+			if c.childrenLive < 0 {
+				report(fmt.Sprintf("context %d has %d live children", i, c.childrenLive))
+			}
+			queued += int64(len(c.pending))
+			active += int64(c.activeCTAs)
+		}
+		if got := g.Stats.CTAs.Value() + queued + active; got != g.accepted {
+			report(fmt.Sprintf("CTA conservation: %d executed + %d queued + %d active = %d, want %d accepted",
+				g.Stats.CTAs.Value(), queued, active, got, g.accepted))
+		}
+		for _, s := range g.sms {
+			if s.residentCTAs < 0 || s.residentThreads < 0 || s.outstanding < 0 {
+				report(fmt.Sprintf("SM %d occupancy negative (ctas=%d threads=%d outstanding=%d)",
+					s.id, s.residentCTAs, s.residentThreads, s.outstanding))
+			}
+			if s.residentCTAs > g.cfg.MaxCTAsPerCore {
+				report(fmt.Sprintf("SM %d holds %d CTAs, limit %d", s.id, s.residentCTAs, g.cfg.MaxCTAsPerCore))
+			}
+		}
+	})
+}

@@ -12,6 +12,7 @@ package hmc
 import (
 	"fmt"
 
+	"memnet/internal/audit"
 	"memnet/internal/dram"
 	"memnet/internal/mem"
 	"memnet/internal/sim"
@@ -99,6 +100,10 @@ type HMC struct {
 	vaults []*vault
 	seq    uint64
 
+	// completed counts requests whose Done fired; the audit balances it
+	// against submissions and requests still queued or in service.
+	completed int64
+
 	Stats Stats
 }
 
@@ -148,6 +153,34 @@ func (h *HMC) QueuedRequests() int {
 	return n
 }
 
+// RegisterAudits attaches this cube's checkers to reg under the given
+// component name. Request conservation: every submitted request is queued,
+// in service, or completed — Done fires exactly once per request. Bank FSM
+// violations recorded by the dram layer are drained and reported with their
+// vault/bank coordinates.
+func (h *HMC) RegisterAudits(reg *audit.Registry, name string) {
+	reg.Register(name, func(report func(string)) {
+		submitted := h.Stats.Reads.Value() + h.Stats.Writes.Value() + h.Stats.Atomics.Value()
+		var queued, inService int64
+		for vi, v := range h.vaults {
+			if v.inService < 0 {
+				report(fmt.Sprintf("vault %d in-service count negative: %d", vi, v.inService))
+			}
+			queued += int64(len(v.queue))
+			inService += int64(v.inService)
+			for bi, b := range v.banks {
+				for _, msg := range b.TakeViolations() {
+					report(fmt.Sprintf("vault %d bank %d: %s", vi, bi, msg))
+				}
+			}
+		}
+		if submitted != h.completed+queued+inService {
+			report(fmt.Sprintf("request conservation: %d submitted != %d completed + %d queued + %d in service",
+				submitted, h.completed, queued, inService))
+		}
+	})
+}
+
 // vault is one vault controller: a request queue, a shared data bus, and
 // its banks.
 type vault struct {
@@ -163,6 +196,9 @@ type vault struct {
 	// refresh is disabled).
 	nextRefresh sim.Time
 	scheduled   bool
+	// inService counts requests popped from the queue whose completion
+	// event has not fired yet.
+	inService int
 }
 
 func newVault(h *HMC) *vault {
@@ -216,6 +252,7 @@ func (v *vault) issue() {
 	idx := v.pick()
 	req := v.queue[idx]
 	v.queue = append(v.queue[:idx], v.queue[idx+1:]...)
+	v.inService++
 
 	now := v.h.eng.Now()
 	t := &v.h.cfg.Timing
@@ -241,6 +278,8 @@ func (v *vault) issue() {
 	v.cmdFree = now + t.TCK
 	v.h.Stats.QueueWait.Add(float64(issueAt - req.arrive))
 	v.h.eng.At(done, func() {
+		v.inService--
+		v.h.completed++
 		v.h.Stats.Service.Add(float64(done - req.arrive))
 		if req.Done != nil {
 			req.Done(req)

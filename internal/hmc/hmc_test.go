@@ -1,8 +1,10 @@
 package hmc
 
 import (
+	"strings"
 	"testing"
 
+	"memnet/internal/audit"
 	"memnet/internal/mem"
 	"memnet/internal/sim"
 )
@@ -220,5 +222,56 @@ func TestRefreshDisabledByDefault(t *testing.T) {
 	eng.Run()
 	if h.Stats.Refreshes.Value() != 0 {
 		t.Fatal("refresh ran despite being disabled (Table I default)")
+	}
+}
+
+func TestRequestConservationAudit(t *testing.T) {
+	eng, h := newHMC(t, nil)
+	reg := audit.New(func() int64 { return int64(eng.Now()) })
+	h.RegisterAudits(reg, "hmc0")
+	completed := 0
+	for i := 0; i < 200; i++ {
+		h.Submit(&Request{
+			Loc:    mem.Loc{Vault: i % 16, Bank: (i / 3) % 16, Row: int64(i % 7)},
+			Write:  i%4 == 1,
+			Atomic: i%9 == 2,
+			Done:   func(*Request) { completed++ },
+		})
+	}
+	// Mid-flight: requests split across queued / in-service / completed, but
+	// the ledger must still balance at any event boundary.
+	eng.At(40*sim.Nanosecond+3, func() {
+		if reg.Check() != 0 {
+			t.Errorf("mid-flight violations: %v", reg.Violations())
+		}
+	})
+	eng.Run()
+	if completed != 200 {
+		t.Fatalf("completed %d of 200 requests", completed)
+	}
+	if reg.Check() != 0 {
+		t.Fatalf("drained cube reported violations: %v", reg.Violations())
+	}
+	// A lost completion breaks conservation.
+	h.completed--
+	if reg.Check() == 0 {
+		t.Fatal("lost completion not detected")
+	}
+	h.completed++
+	reg.Reset()
+	// Bank FSM violations surface with vault/bank coordinates.
+	tm := h.cfg.Timing
+	h.vaults[2].banks[5].ColumnAt(0, 99, false, &tm, 0)
+	if reg.Check() == 0 {
+		t.Fatal("bank FSM violation not surfaced through the cube audit")
+	}
+	found := false
+	for _, v := range reg.Violations() {
+		if strings.Contains(v.Msg, "vault 2 bank 5") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("violation lacks vault/bank coordinates: %v", reg.Violations())
 	}
 }

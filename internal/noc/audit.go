@@ -1,0 +1,227 @@
+package noc
+
+import (
+	"fmt"
+
+	"memnet/internal/audit"
+)
+
+// RegisterAudits attaches the network's conservation checkers to reg. The
+// invariants are stated over event-boundary state (between network cycles),
+// where every credit decrement has a matching in-flight credit or buffered
+// flit and vice versa:
+//
+//   - Flit conservation: flits injected = flits retired + flits resident in
+//     channel FIFOs, hold queues, and router VC buffers.
+//   - Credit conservation: for every sender (router output port or terminal
+//     attachment) and VC, available credits + credits returning over the
+//     channel + credit-holding flits in flight or buffered downstream equal
+//     BufFlitsPerVC exactly. Elastic flits (overlay express, NI-local) hold
+//     no credit and are excluded.
+//   - VC legality: a buffered or in-flight flit's VC must match its packet's
+//     class, and its level must respect the hop-count clamp — only elastic
+//     express flits may ride the reserved top VC.
+//   - Allocation consistency: an output VC is busy iff exactly one input VC
+//     holds it.
+//   - Quiescence: once no packet is undelivered, no flit may remain resident
+//     anywhere and no terminal may still hold queued flits.
+func (n *Network) RegisterAudits(reg *audit.Registry) {
+	reg.Register("noc", func(report func(string)) {
+		n.auditFlitConservation(report)
+		n.auditCredits(report)
+		n.auditVCLegality(report)
+		n.auditVCAllocation(report)
+	})
+}
+
+// residentFlits counts every flit currently buffered inside the network:
+// channel FIFOs, express hold queues, and router input-VC buffers (including
+// the NI port).
+func (n *Network) residentFlits() int64 {
+	var k int64
+	for _, c := range n.channels {
+		k += int64(len(c.fifo) + len(c.holdQ))
+	}
+	for _, r := range n.routers {
+		for _, p := range r.allPorts() {
+			for vi := range p.vcs {
+				k += int64(len(p.vcs[vi].q))
+			}
+		}
+	}
+	return k
+}
+
+func (n *Network) auditFlitConservation(report func(string)) {
+	resident := n.residentFlits()
+	if n.flitsInjected != n.flitsRetired+resident {
+		report(fmt.Sprintf("flit conservation: injected %d != retired %d + resident %d",
+			n.flitsInjected, n.flitsRetired, resident))
+	}
+	if n.active < 0 {
+		report(fmt.Sprintf("active packet count negative: %d", n.active))
+	}
+	if n.active == 0 {
+		if resident != 0 {
+			report(fmt.Sprintf("quiescent network still holds %d resident flits", resident))
+		}
+		for _, t := range n.terminals {
+			if q := t.QueuedFlits(); q != 0 {
+				report(fmt.Sprintf("quiescent network: terminal %d still queues %d flits", t.id, q))
+			}
+		}
+	}
+}
+
+// pendingCredits counts credit returns of vc still traversing channel c.
+func pendingCredits(c *Channel, vc int) int {
+	k := 0
+	for _, cr := range c.credits {
+		if cr.vc == vc {
+			k++
+		}
+	}
+	return k
+}
+
+// creditHoldingInFifo counts non-elastic flits of vc in channel c's FIFO;
+// each holds one downstream buffer slot. Hold-queue flits are always
+// elastic, so they never appear here.
+func creditHoldingInFifo(c *Channel, vc int) int {
+	k := 0
+	for _, it := range c.fifo {
+		if it.vc == vc && !it.f.passChain {
+			k++
+		}
+	}
+	return k
+}
+
+// creditHoldingBuffered counts non-elastic flits of vc buffered in input
+// port p; each still holds the slot its sender's credit paid for.
+func creditHoldingBuffered(p *inPort, vc int) int {
+	k := 0
+	for _, bf := range p.vcs[vc].q {
+		if !bf.elastic {
+			k++
+		}
+	}
+	return k
+}
+
+func (n *Network) auditCredits(report func(string)) {
+	if n.creditsInFlight < 0 {
+		report(fmt.Sprintf("credits-in-flight counter negative: %d", n.creditsInFlight))
+	}
+	var pending int64
+	for _, c := range n.channels {
+		pending += int64(len(c.credits))
+	}
+	if pending != n.creditsInFlight {
+		report(fmt.Sprintf("credit ledger: %d credits on channels, counter says %d",
+			pending, n.creditsInFlight))
+	}
+	buf := n.cfg.BufFlitsPerVC
+	for _, r := range n.routers {
+		for pi, op := range r.out {
+			var dst *inPort
+			if op.ch.dstRouter >= 0 {
+				dst = n.routers[op.ch.dstRouter].in[op.ch.dstPort]
+			}
+			for vc, cr := range op.credits {
+				held := pendingCredits(op.ch, vc) + creditHoldingInFifo(op.ch, vc)
+				if dst != nil {
+					held += creditHoldingBuffered(dst, vc)
+				}
+				if cr+held != buf {
+					report(fmt.Sprintf("router %d port %d vc %d: %d credits + %d outstanding != %d",
+						r.id, pi, vc, cr, held, buf))
+				}
+			}
+		}
+	}
+	for _, t := range n.terminals {
+		for pi, p := range t.ports {
+			ch := p.toRouter
+			dst := n.routers[ch.dstRouter].in[ch.dstPort]
+			for vc, cr := range p.credits {
+				held := pendingCredits(ch, vc) + creditHoldingInFifo(ch, vc) +
+					creditHoldingBuffered(dst, vc)
+				if cr+held != buf {
+					report(fmt.Sprintf("terminal %d port %d vc %d: %d credits + %d outstanding != %d",
+						t.id, pi, vc, cr, held, buf))
+				}
+			}
+		}
+	}
+}
+
+// legalVC checks one flit's VC assignment: right class, and a level within
+// the hop-count clamp unless it is an elastic flit on the reserved
+// pass-through VC.
+func (n *Network) legalVC(vc int, pkt *Packet, elastic bool) bool {
+	if vc/n.cfg.VCsPerClass != pkt.Class {
+		return false
+	}
+	level := vc % n.cfg.VCsPerClass
+	if level <= n.maxLevel() {
+		return true
+	}
+	return elastic && vc == n.reservedVC(pkt.Class)
+}
+
+func (n *Network) auditVCLegality(report func(string)) {
+	for _, c := range n.channels {
+		for _, it := range c.fifo {
+			if !n.legalVC(it.vc, it.f.pkt, it.f.passChain) {
+				report(fmt.Sprintf("channel %d carries packet %d (class %d) on illegal vc %d",
+					c.index, it.f.pkt.ID, it.f.pkt.Class, it.vc))
+			}
+		}
+		for _, it := range c.holdQ {
+			if it.vc != n.reservedVC(it.f.pkt.Class) {
+				report(fmt.Sprintf("channel %d holds express flit of packet %d off the reserved vc (vc %d)",
+					c.index, it.f.pkt.ID, it.vc))
+			}
+		}
+	}
+	for _, r := range n.routers {
+		for _, p := range r.allPorts() {
+			for vi := range p.vcs {
+				for _, bf := range p.vcs[vi].q {
+					if !n.legalVC(vi, bf.f.pkt, bf.elastic) {
+						report(fmt.Sprintf("router %d buffers packet %d (class %d) on illegal vc %d",
+							r.id, bf.f.pkt.ID, bf.f.pkt.Class, vi))
+					}
+				}
+			}
+		}
+	}
+}
+
+func (n *Network) auditVCAllocation(report func(string)) {
+	for _, r := range n.routers {
+		ports := r.allPorts()
+		for oi, op := range r.out {
+			for v, busy := range op.vcBusy {
+				holders := 0
+				for _, p := range ports {
+					for vi := range p.vcs {
+						vc := &p.vcs[vi]
+						if vc.active && vc.outPort == oi && vc.outVC == v {
+							holders++
+						}
+					}
+				}
+				if busy && holders != 1 {
+					report(fmt.Sprintf("router %d port %d vc %d busy with %d holders",
+						r.id, oi, v, holders))
+				}
+				if !busy && holders != 0 {
+					report(fmt.Sprintf("router %d port %d vc %d free but held by %d input VCs",
+						r.id, oi, v, holders))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package noc
+
+import (
+	"math/rand"
+	"testing"
+
+	"memnet/internal/audit"
+	"memnet/internal/sim"
+)
+
+// TestNetworkAuditCleanTraffic runs heavy mixed traffic (overlay express
+// included) with the conservation audit attached and checks invariants both
+// mid-flight — at instants between network cycles — and after the drain.
+// A healthy network must never report a violation.
+func TestNetworkAuditCleanTraffic(t *testing.T) {
+	for _, overlay := range []bool{false, true} {
+		eng := sim.NewEngine()
+		spec := spec4x4(TopoSFBFLY)
+		if overlay {
+			spec.CPUCluster = 0
+			spec.Overlay = true
+		}
+		b, err := BuildTopology(eng, DefaultConfig(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		newEcho(b, 9)
+		reg := audit.New(func() int64 { return int64(eng.Now()) })
+		b.Net.RegisterAudits(reg)
+		if reg.NumCheckers() == 0 {
+			t.Fatal("no checkers registered")
+		}
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 500; i++ {
+			src := rng.Intn(4)
+			req := NewRequest(0, b.Terms[src], rng.Intn(16), 1+8*rng.Intn(2))
+			req.PassThrough = overlay && src == 0
+			at := sim.Time(rng.Intn(1500)) * sim.Nanosecond
+			eng.At(at, func() { b.Net.Send(req) })
+		}
+		// Off-edge instants land between network cycles, where the
+		// event-boundary invariants must hold even under load.
+		for _, at := range []sim.Time{333*sim.Nanosecond + 1, 900*sim.Nanosecond + 3, 1600*sim.Nanosecond + 7} {
+			at := at
+			eng.At(at, func() {
+				if k := reg.Check(); k != 0 {
+					for _, v := range reg.Violations() {
+						t.Log(v)
+					}
+					t.Errorf("overlay=%v: %d violations mid-run at t=%d", overlay, k, at)
+				}
+			})
+		}
+		eng.Run()
+		if !b.Net.Quiescent() {
+			t.Fatalf("overlay=%v: network did not drain", overlay)
+		}
+		if k := reg.Check(); k != 0 {
+			for _, v := range reg.Violations() {
+				t.Log(v)
+			}
+			t.Fatalf("overlay=%v: %d violations after drain", overlay, k)
+		}
+	}
+}
+
+// TestNetworkAuditDetectsTampering corrupts a drained network in the ways
+// each invariant is meant to catch and verifies the audit reports them.
+func TestNetworkAuditDetectsTampering(t *testing.T) {
+	b, _, _ := randomTraffic(t, TopoSFBFLY, 200, false, false)
+	reg := audit.New(func() int64 { return 0 })
+	b.Net.RegisterAudits(reg)
+	if reg.Check() != 0 {
+		t.Fatalf("drained network not clean: %v", reg.Violations())
+	}
+	r := b.Net.routers[0]
+
+	// A leaked credit breaks the per-VC balance.
+	r.out[0].credits[0]--
+	if reg.Check() == 0 {
+		t.Error("credit leak not detected")
+	}
+	r.out[0].credits[0]++
+	reg.Reset()
+
+	// A miscounted injection breaks the flit ledger.
+	b.Net.flitsInjected++
+	if reg.Check() == 0 {
+		t.Error("flit ledger mismatch not detected")
+	}
+	b.Net.flitsInjected--
+	reg.Reset()
+
+	// An output VC stuck busy with no input VC holding it.
+	r.out[0].vcBusy[1] = true
+	if reg.Check() == 0 {
+		t.Error("stuck vcBusy not detected")
+	}
+	r.out[0].vcBusy[1] = false
+	reg.Reset()
+
+	// A non-elastic flit squatting on the reserved pass-through VC is both
+	// a legality violation and a conservation violation.
+	pkt := &Packet{ID: 9999, Class: ClassRequest, SrcTerm: 0, SrcRouter: -1,
+		DstTerm: -1, DstRouter: r.id, Size: 1, Inter: -1}
+	rv := b.Net.reservedVC(ClassRequest)
+	r.in[0].vcs[rv].q = append(r.in[0].vcs[rv].q, bufFlit{f: flit{pkt: pkt}})
+	if reg.Check() == 0 {
+		t.Error("illegal reserved-VC occupancy not detected")
+	}
+	r.in[0].vcs[rv].q = nil
+	reg.Reset()
+	if reg.Check() != 0 {
+		t.Fatalf("restored network still dirty: %v", reg.Violations())
+	}
+}

@@ -151,6 +151,13 @@ type Network struct {
 	active          int64 // undelivered packets; network sleeps when both counters hit 0
 	creditsInFlight int64 // credit returns still traversing channels
 
+	// Flit conservation ledger for the audit layer: every flit that enters
+	// the network (terminal injection or NI enqueue) must eventually retire
+	// (router ejection or terminal delivery); the difference is exactly the
+	// flits resident in channel FIFOs and router buffers.
+	flitsInjected int64
+	flitsRetired  int64
+
 	Stats Stats
 
 	// Select between minimal and UGAL injection routing.

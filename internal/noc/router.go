@@ -103,6 +103,7 @@ func (r *Router) enqueueLocal(pkt *Packet) {
 		f := flit{pkt: pkt, idx: i, readyCycle: start + int64(i)}
 		r.ni.vcs[vc].q = append(r.ni.vcs[vc].q, bufFlit{f: f, elastic: true})
 	}
+	r.net.flitsInjected += int64(pkt.Size)
 	r.niSerial = start + int64(pkt.Size)
 }
 
@@ -148,6 +149,7 @@ func (r *Router) switchTraversal(n *Network) {
 			vc.q = vc.q[1:]
 			used[pi] = true
 			budget--
+			n.flitsRetired++
 			if !bf.elastic && p.ch != nil {
 				p.ch.returnCredit(n, n.cycle, vi)
 			}

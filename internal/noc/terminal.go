@@ -164,6 +164,7 @@ func (t *Terminal) inject(n *Network) {
 		f := flit{pkt: p.cur, idx: p.curFlit}
 		p.credits[vc]--
 		p.toRouter.send(n.cycle, f, vc)
+		n.flitsInjected++
 		p.curFlit++
 		if p.curFlit == p.cur.Size {
 			p.cur = nil
@@ -179,6 +180,7 @@ func (t *Terminal) receive(n *Network, c *Channel, it channelItem) {
 	if !it.f.passChain {
 		c.returnCredit(n, n.cycle, it.vc)
 	}
+	n.flitsRetired++
 	if it.f.tail() {
 		n.deliverToTerminal(t.id, it.f.pkt)
 	}

@@ -13,6 +13,7 @@ package pcie
 import (
 	"fmt"
 
+	"memnet/internal/audit"
 	"memnet/internal/sim"
 	"memnet/internal/stats"
 )
@@ -57,6 +58,10 @@ type Fabric struct {
 	eng   *sim.Engine
 	cfg   Config
 	ports []*port
+
+	// rtOpen counts round trips whose response has not been sent yet: every
+	// request packet must eventually be paired with exactly one response.
+	rtOpen int64
 
 	Stats Stats
 }
@@ -130,9 +135,33 @@ func (f *Fabric) Send(src, dst int, n int64, done func()) {
 // service function receives a completion callback it must invoke when the
 // remote operation (e.g. the remote GPU's memory access) finishes.
 func (f *Fabric) RoundTrip(src, dst int, reqBytes, respBytes int64, service func(done func()), done func()) {
+	f.rtOpen++
 	f.Send(src, dst, reqBytes, func() {
 		service(func() {
+			// The response send pairs this round trip; the ledger closes
+			// here rather than at delivery so fire-and-forget responses
+			// (nil done) balance without an extra completion event.
+			f.rtOpen--
 			f.Send(dst, src, respBytes, done)
 		})
+	})
+}
+
+// OpenRoundTrips returns the number of round trips whose response has not
+// been sent yet.
+func (f *Fabric) OpenRoundTrips() int64 { return f.rtOpen }
+
+// RegisterAudits attaches the fabric's checkers to reg: the request/response
+// ledger must never go negative (a double-sent response), and wire bytes
+// must dominate payload bytes since every TLP adds header overhead.
+func (f *Fabric) RegisterAudits(reg *audit.Registry) {
+	reg.Register("pcie", func(report func(string)) {
+		if f.rtOpen < 0 {
+			report(fmt.Sprintf("round-trip ledger negative: %d (response sent twice)", f.rtOpen))
+		}
+		if f.Stats.WireBytes.Value() < f.Stats.Bytes.Value() {
+			report(fmt.Sprintf("wire bytes %d below payload bytes %d (header accounting lost)",
+				f.Stats.WireBytes.Value(), f.Stats.Bytes.Value()))
+		}
 	})
 }

@@ -3,6 +3,7 @@ package pcie
 import (
 	"testing"
 
+	"memnet/internal/audit"
 	"memnet/internal/sim"
 )
 
@@ -126,5 +127,45 @@ func TestZeroByteTransferCompletesImmediately(t *testing.T) {
 	want := DefaultConfig().Latency + DefaultConfig().SwitchLatency
 	if doneAt != want {
 		t.Fatalf("zero-byte transfer at %d, want %d", doneAt, want)
+	}
+}
+
+func TestRoundTripLedgerBalances(t *testing.T) {
+	eng, f, ids := newFabric(t, 3)
+	reg := audit.New(func() int64 { return int64(eng.Now()) })
+	f.RegisterAudits(reg)
+	served := 0
+	completions := 0
+	for i := 0; i < 8; i++ {
+		dst := ids[1+i%2]
+		done := func() { completions++ }
+		if i%3 == 0 {
+			done = nil // fire-and-forget writes carry no completion
+		}
+		f.RoundTrip(ids[0], dst, 96, 160, func(fin func()) {
+			served++
+			eng.After(50*sim.Nanosecond, fin)
+		}, done)
+	}
+	if f.OpenRoundTrips() != 8 {
+		t.Fatalf("open round trips = %d before running, want 8", f.OpenRoundTrips())
+	}
+	eng.Run()
+	if served != 8 {
+		t.Fatalf("service ran %d times, want 8", served)
+	}
+	if completions != 5 {
+		t.Fatalf("completions = %d, want 5 (3 were fire-and-forget)", completions)
+	}
+	if f.OpenRoundTrips() != 0 {
+		t.Fatalf("open round trips = %d after drain, want 0 (unpaired request)", f.OpenRoundTrips())
+	}
+	if reg.Check() != 0 {
+		t.Fatalf("clean fabric reported violations: %v", reg.Violations())
+	}
+	// A double-sent response drives the ledger negative; the audit flags it.
+	f.rtOpen = -1
+	if reg.Check() == 0 {
+		t.Fatal("negative ledger not detected")
 	}
 }

@@ -11,6 +11,8 @@
 // the order they were scheduled.
 package sim
 
+import "fmt"
+
 // Time is a simulation timestamp or duration in picoseconds.
 type Time int64
 
@@ -114,17 +116,25 @@ func NewEngine() *Engine {
 func (e *Engine) Now() Time { return e.now }
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
-// it always indicates a model bug rather than a recoverable condition.
+// it always indicates a model bug rather than a recoverable condition, and
+// a past event would break the monotonicity the heap's determinism
+// contract assumes.
 func (e *Engine) At(t Time, fn func()) {
 	if t < e.now {
-		panic("sim: event scheduled in the past")
+		panic(fmt.Sprintf("sim: event scheduled in the past (at=%d ps, now=%d ps)", t, e.now))
 	}
 	e.seq++
 	e.events.push(event{at: t, seq: e.seq, fn: fn})
 }
 
-// After schedules fn to run d picoseconds from now.
-func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+// After schedules fn to run d picoseconds from now. Negative delays panic:
+// they would schedule the event before Now().
+func (e *Engine) After(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: After with negative delay %d ps (now=%d ps)", d, e.now))
+	}
+	e.At(e.now+d, fn)
+}
 
 // Pending reports the number of scheduled events.
 func (e *Engine) Pending() int { return len(e.events) }
@@ -136,9 +146,33 @@ func (e *Engine) Step() bool {
 		return false
 	}
 	ev := e.events.pop()
+	if ev.at < e.now {
+		// Unreachable unless the heap is corrupted: At rejects past events,
+		// so a pop can never move time backwards. Kept as a hard assert —
+		// silent time travel would invalidate every downstream statistic.
+		panic(fmt.Sprintf("sim: time moved backwards (event at %d ps, now=%d ps)", ev.at, e.now))
+	}
 	e.now = ev.at
 	ev.fn()
 	return true
+}
+
+// AuditInvariants verifies the engine's internal ordering invariants: the
+// pending-event heap is a well-formed min-heap (so pops are globally
+// ordered) and no pending event lies before the current time. It returns
+// nil when both hold. Read-only: safe to call between events at any time.
+func (e *Engine) AuditInvariants() error {
+	h := e.events
+	for i := 1; i < len(h); i++ {
+		if p := (i - 1) / 2; h[i].before(&h[p]) {
+			return fmt.Errorf("sim: event heap order broken at index %d (child %d ps/seq %d before parent %d ps/seq %d)",
+				i, h[i].at, h[i].seq, h[p].at, h[p].seq)
+		}
+	}
+	if len(h) > 0 && h[0].at < e.now {
+		return fmt.Errorf("sim: earliest pending event at %d ps is before now=%d ps", h[0].at, e.now)
+	}
+	return nil
 }
 
 // Run processes events until the queue is empty and returns the final time.

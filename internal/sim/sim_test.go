@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -70,6 +71,78 @@ func TestEnginePastPanics(t *testing.T) {
 		}
 	}()
 	e.At(50, func() {})
+}
+
+func TestEnginePastPanicMessageHasTimes(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func() {})
+	e.Run()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "at=50") || !strings.Contains(msg, "now=100") {
+			t.Fatalf("panic %v lacks event/now time context", r)
+		}
+	}()
+	e.At(50, func() {})
+}
+
+func TestAfterNegativeDelayPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("After with a negative delay did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "negative delay") {
+			t.Fatalf("panic %v does not name the negative delay", r)
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestAfterNegativeDelayPanicsMidRun(t *testing.T) {
+	// A negative delay issued from inside an event must panic even though
+	// now+d may still be a positive timestamp.
+	e := NewEngine()
+	panicked := false
+	e.At(1000, func() {
+		defer func() { panicked = recover() != nil }()
+		e.After(-500, func() {})
+	})
+	e.Run()
+	if !panicked {
+		t.Fatal("After(-500) at t=1000 did not panic")
+	}
+}
+
+func TestAuditInvariantsCleanEngine(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 200; i++ {
+		e.After(Time(i%17)*10, func() {})
+	}
+	if err := e.AuditInvariants(); err != nil {
+		t.Fatalf("healthy engine failed audit: %v", err)
+	}
+	e.Run()
+	if err := e.AuditInvariants(); err != nil {
+		t.Fatalf("drained engine failed audit: %v", err)
+	}
+}
+
+func TestAuditInvariantsDetectsCorruption(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {})
+	e.At(20, func() {})
+	e.At(30, func() {})
+	// Corrupt the heap directly: swap the root past its children.
+	e.events[0].at = 99
+	if err := e.AuditInvariants(); err == nil {
+		t.Fatal("audit missed a corrupted heap")
+	}
 }
 
 func TestRunUntil(t *testing.T) {

@@ -23,6 +23,7 @@ package ske
 import (
 	"fmt"
 
+	"memnet/internal/audit"
 	"memnet/internal/gpu"
 	"memnet/internal/sim"
 	"memnet/internal/stats"
@@ -98,6 +99,9 @@ type Runtime struct {
 	onDone    func()
 	kernel    gpu.Kernel
 
+	assigned int64 // CTAs handed to GPUs across all launches
+	aud      *audit.Registry
+
 	Stats Stats
 }
 
@@ -117,9 +121,17 @@ func New(eng *sim.Engine, cfg Config, gpus []*gpu.GPU) (*Runtime, error) {
 func (r *Runtime) NumGPUs() int { return len(r.gpus) }
 
 // Assign partitions the flattened CTA index space [0, n) per the policy.
-// Exposed for tests and the scheduler-comparison experiment.
+// Exposed for tests and the scheduler-comparison experiment; degenerate
+// inputs (no GPUs, negative n) return an empty partition instead of
+// dividing by zero.
 func Assign(policy Policy, n, gpus int) [][]int {
+	if gpus <= 0 {
+		return nil
+	}
 	out := make([][]int, gpus)
+	if n <= 0 {
+		return out
+	}
 	switch policy {
 	case RoundRobin:
 		for i := 0; i < n; i++ {
@@ -155,6 +167,10 @@ func (r *Runtime) Launch(kernel gpu.Kernel, onDone func()) {
 	r.kernel = kernel
 	r.onDone = onDone
 	parts := Assign(r.cfg.Policy, kernel.NumCTAs(), len(r.gpus))
+	if r.aud != nil {
+		r.auditAssign(parts, kernel.NumCTAs())
+	}
+	r.assigned += int64(kernel.NumCTAs())
 	r.remaining = len(r.gpus)
 	// Page-table synchronization precedes the per-GPU launch commands.
 	r.eng.After(r.cfg.PageTableSync, func() {
@@ -185,6 +201,61 @@ func (r *Runtime) gpuDone(g int) {
 		done := r.onDone
 		r.onDone = nil
 		done()
+	}
+}
+
+// RegisterAudits attaches the runtime's CTA-conservation checkers to reg
+// and enables the inline partition audit on every launch. The invariants:
+// every launch's partitions cover [0, NumCTAs) exactly once, and the
+// per-GPU execution counters always sum to the CTAs assigned so far —
+// stealing moves CTAs between GPUs but must never create or lose one.
+func (r *Runtime) RegisterAudits(reg *audit.Registry) {
+	r.aud = reg
+	reg.Register("ske", func(report func(string)) {
+		var sum int64
+		for i := range r.Stats.PerGPU {
+			v := r.Stats.PerGPU[i].Value()
+			if v < 0 {
+				report(fmt.Sprintf("GPU %d CTA count negative: %d (over-steal)", i, v))
+			}
+			sum += v
+		}
+		if sum != r.assigned {
+			report(fmt.Sprintf("CTA conservation: per-GPU counts sum to %d, want %d assigned (steal bookkeeping leak)", sum, r.assigned))
+		}
+		if r.remaining < 0 || r.remaining > len(r.gpus) {
+			report(fmt.Sprintf("in-flight GPU count %d outside [0,%d]", r.remaining, len(r.gpus)))
+		}
+		if r.remaining == 0 && r.onDone != nil {
+			report("kernel completion callback stranded after all GPUs drained")
+		}
+	})
+}
+
+// auditAssign verifies a launch's partitions cover the CTA space exactly.
+func (r *Runtime) auditAssign(parts [][]int, n int) {
+	if len(parts) != len(r.gpus) {
+		r.aud.Reportf("ske", "Assign produced %d partitions for %d GPUs", len(parts), len(r.gpus))
+		return
+	}
+	seen := make([]bool, n)
+	total := 0
+	for g, part := range parts {
+		for _, cta := range part {
+			if cta < 0 || cta >= n {
+				r.aud.Reportf("ske", "Assign gave GPU %d CTA %d outside [0,%d)", g, cta, n)
+				continue
+			}
+			if seen[cta] {
+				r.aud.Reportf("ske", "Assign placed CTA %d on more than one GPU", cta)
+				continue
+			}
+			seen[cta] = true
+			total++
+		}
+	}
+	if total != n {
+		r.aud.Reportf("ske", "Assign covered %d CTAs, want %d", total, n)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"memnet/internal/audit"
 	"memnet/internal/gpu"
 	"memnet/internal/mem"
 	"memnet/internal/sim"
@@ -207,6 +208,120 @@ func TestStealingRebalances(t *testing.T) {
 	}
 	if rt.Stats.PerGPU[0].Value() <= 128 {
 		t.Fatalf("GPU 0 executed %d CTAs; stealing should add work", rt.Stats.PerGPU[0].Value())
+	}
+}
+
+func TestAssignDegenerateInputs(t *testing.T) {
+	for _, pol := range []Policy{StaticChunk, RoundRobin, StaticSteal} {
+		// No GPUs: must not divide by zero; nil means "nothing to launch".
+		if parts := Assign(pol, 10, 0); parts != nil {
+			t.Fatalf("%v: Assign(10, 0) = %v, want nil", pol, parts)
+		}
+		if parts := Assign(pol, 10, -3); parts != nil {
+			t.Fatalf("%v: Assign(10, -3) = %v, want nil", pol, parts)
+		}
+		// No CTAs: one empty partition per GPU.
+		for _, n := range []int{0, -7} {
+			parts := Assign(pol, n, 4)
+			if len(parts) != 4 {
+				t.Fatalf("%v: Assign(%d, 4) has %d partitions, want 4", pol, n, len(parts))
+			}
+			for g, part := range parts {
+				if len(part) != 0 {
+					t.Fatalf("%v: Assign(%d, 4) gave GPU %d CTAs %v", pol, n, g, part)
+				}
+			}
+		}
+	}
+}
+
+// TestStealChunkLargerThanVictimQueue exercises the relaunch path when the
+// victim holds fewer queued CTAs than StealChunk: StealCTAs must hand over
+// the short remainder, and the per-GPU counters must still conserve CTAs.
+func TestStealChunkLargerThanVictimQueue(t *testing.T) {
+	eng := sim.NewEngine()
+	gs := mkGPUs(t, eng, 2)
+	cfg := DefaultConfig()
+	cfg.Policy = StaticSteal
+	cfg.StealChunk = 64 // far larger than any victim queue remnant
+	rt, _ := New(eng, cfg, gs)
+	reg := audit.New(func() int64 { return int64(eng.Now()) })
+	rt.RegisterAudits(reg)
+	k := &kern{ctas: 256, ops: func(cta, warp int) []gpu.WarpOp {
+		n := 1
+		if cta >= 128 {
+			n = 60
+		}
+		ops := make([]gpu.WarpOp, n)
+		for i := range ops {
+			ops[i] = gpu.WarpOp{Kind: gpu.OpLoad, Addrs: []mem.Addr{mem.Addr(cta*65536 + i*128)}}
+		}
+		return ops
+	}}
+	doneCount := 0
+	rt.Launch(k, func() { doneCount++ })
+	eng.Run()
+	if doneCount != 1 {
+		t.Fatalf("completion fired %d times, want exactly once", doneCount)
+	}
+	if rt.Stats.CTAsStolen.Value() == 0 {
+		t.Fatal("oversized StealChunk prevented stealing entirely")
+	}
+	var total int64
+	for i := range rt.Stats.PerGPU {
+		if v := rt.Stats.PerGPU[i].Value(); v < 0 {
+			t.Fatalf("GPU %d CTA count went negative: %d", i, v)
+		}
+		total += rt.Stats.PerGPU[i].Value()
+	}
+	if total != 256 {
+		t.Fatalf("per-GPU counts sum to %d after stealing, want 256", total)
+	}
+	if reg.Check() != 0 {
+		t.Fatalf("steal run violated invariants: %v", reg.Violations())
+	}
+}
+
+// TestStealRacingFinalCompletion drives repeated single-CTA steals right up
+// to the kernel's last CTA: the thief's relaunches must not decrement the
+// in-flight GPU count early or fire the completion callback twice.
+func TestStealRacingFinalCompletion(t *testing.T) {
+	eng := sim.NewEngine()
+	gs := mkGPUs(t, eng, 2)
+	cfg := DefaultConfig()
+	cfg.Policy = StaticSteal
+	cfg.StealChunk = 1
+	rt, _ := New(eng, cfg, gs)
+	reg := audit.New(func() int64 { return int64(eng.Now()) })
+	rt.RegisterAudits(reg)
+	k := &kern{ctas: 80, ops: func(cta, warp int) []gpu.WarpOp {
+		if cta < 40 {
+			return []gpu.WarpOp{{Compute: 1}} // GPU 0's chunk drains instantly
+		}
+		ops := make([]gpu.WarpOp, 50)
+		for i := range ops {
+			ops[i] = gpu.WarpOp{Kind: gpu.OpLoad, Addrs: []mem.Addr{mem.Addr(cta*65536 + i*128)}}
+		}
+		return ops
+	}}
+	doneCount := 0
+	rt.Launch(k, func() { doneCount++ })
+	eng.Run()
+	if doneCount != 1 {
+		t.Fatalf("completion fired %d times, want exactly once", doneCount)
+	}
+	if rt.remaining != 0 {
+		t.Fatalf("in-flight GPU count %d after completion, want 0", rt.remaining)
+	}
+	var total int64
+	for i := range rt.Stats.PerGPU {
+		total += rt.Stats.PerGPU[i].Value()
+	}
+	if total != 80 {
+		t.Fatalf("per-GPU counts sum to %d, want 80", total)
+	}
+	if reg.Check() != 0 {
+		t.Fatalf("steal-race run violated invariants: %v", reg.Violations())
 	}
 }
 

@@ -115,14 +115,26 @@ func (h *Histogram) MeanValue() float64 { return h.mean.Value() }
 // Max returns the largest sample.
 func (h *Histogram) Max() float64 { return h.mean.Max() }
 
-// Percentile returns an upper bound for the p-th percentile (0 < p <= 100)
-// with power-of-two bucket resolution.
+// Percentile returns an upper bound for the p-th percentile with
+// power-of-two bucket resolution. p is clamped into (0, 100]: p <= 0 asks
+// for the smallest recorded sample's bucket and p > 100 for the largest,
+// so callers with a computed p can never walk past the bucket array or
+// silently read bucket 0.
 func (h *Histogram) Percentile(p float64) int64 {
 	total := h.Count()
 	if total == 0 {
 		return 0
 	}
+	if p > 100 {
+		p = 100
+	}
 	target := int64(math.Ceil(float64(total) * p / 100))
+	if target < 1 {
+		target = 1
+	}
+	if target > total {
+		target = total
+	}
 	var cum int64
 	for i, n := range h.buckets {
 		cum += n
@@ -130,10 +142,17 @@ func (h *Histogram) Percentile(p float64) int64 {
 			if i == 0 {
 				return 0
 			}
+			if i == 63 {
+				// The top bucket spans [2^62, 2^63); its exclusive upper
+				// bound does not fit in int64, so report the maximum
+				// explicitly instead of relying on shift wraparound.
+				return math.MaxInt64
+			}
 			return 1<<uint(i) - 1
 		}
 	}
-	return 1<<63 - 1
+	// Unreachable: target <= total and the buckets sum to total.
+	return math.MaxInt64
 }
 
 // String renders the non-empty buckets.

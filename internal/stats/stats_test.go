@@ -65,6 +65,38 @@ func TestHistogramPercentileEmpty(t *testing.T) {
 	}
 }
 
+func TestHistogramPercentileClampsRange(t *testing.T) {
+	var h Histogram
+	h.Add(5) // bucket [4,8): upper bound 7
+	// p > 100 must clamp to the maximum bucket instead of walking past the
+	// last recorded sample and returning MaxInt64.
+	if p := h.Percentile(150); p != 7 {
+		t.Fatalf("Percentile(150) = %d, want 7 (clamped to p=100)", p)
+	}
+	// p <= 0 must resolve to the smallest recorded bucket, not silently
+	// report bucket 0 as if zero-valued samples existed.
+	if p := h.Percentile(0); p != 7 {
+		t.Fatalf("Percentile(0) = %d, want 7 (first non-empty bucket)", p)
+	}
+	if p := h.Percentile(-3); p != 7 {
+		t.Fatalf("Percentile(-3) = %d, want 7", p)
+	}
+	// In-range percentiles are unaffected.
+	if p := h.Percentile(100); p != 7 {
+		t.Fatalf("Percentile(100) = %d, want 7", p)
+	}
+}
+
+func TestHistogramPercentileTopBucket(t *testing.T) {
+	var h Histogram
+	h.Add(math.MaxInt64) // lands in bucket 63: [2^62, 2^63)
+	for _, p := range []float64{50, 100, 1000} {
+		if got := h.Percentile(p); got != math.MaxInt64 {
+			t.Fatalf("Percentile(%v) = %d, want MaxInt64 for the top bucket", p, got)
+		}
+	}
+}
+
 func TestQuickHistogramPercentileUpperBound(t *testing.T) {
 	f := func(raw []uint16) bool {
 		if len(raw) == 0 {
