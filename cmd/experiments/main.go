@@ -9,6 +9,7 @@
 //	experiments -exp fig10,fig12
 //	experiments -exp all -par 8     # fan runs out over 8 workers
 //	experiments -exp fig14 -cpuprofile cpu.pprof
+//	experiments -exp fig7 -trace traces/ -metrics metrics/
 //
 // Known experiments: fig7 fig10 fig12 fig14 fig15 fig16 fig17 fig18 fig19
 // ctasched placement table2.
@@ -29,8 +30,10 @@ import (
 	"strings"
 	"time"
 
+	"memnet"
 	"memnet/internal/core"
 	"memnet/internal/exp"
+	"memnet/internal/obs"
 	"memnet/internal/par"
 )
 
@@ -44,8 +47,29 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile after the sweep to this file")
 	auditFlag := flag.Bool("audit", false, "check conservation invariants at every phase boundary of every run (results are byte-identical either way)")
+	traceDir := flag.String("trace", "", "write one Perfetto trace per run into this directory")
+	metricsDir := flag.String("metrics", "", "write one windowed-metrics CSV per run into this directory")
+	metricsEpoch := flag.String("metrics-epoch", "", "metrics sampling window, e.g. 500ns or 1us (default 1us)")
 	flag.Parse()
 	core.SetAuditDefault(*auditFlag)
+	if *traceDir != "" || *metricsDir != "" {
+		var epoch memnet.Time
+		if *metricsEpoch != "" {
+			var err error
+			epoch, err = obs.ParseDuration(*metricsEpoch)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		for _, dir := range []string{*traceDir, *metricsDir} {
+			if dir != "" {
+				if err := os.MkdirAll(dir, 0o755); err != nil {
+					fatal(err)
+				}
+			}
+		}
+		core.SetObsDefault(*traceDir, *metricsDir, epoch)
+	}
 
 	if *parFlag > 0 {
 		par.SetParallelism(*parFlag)

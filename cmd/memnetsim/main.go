@@ -6,6 +6,7 @@
 //	memnetsim -arch UMN -workload BFS -scale 0.5
 //	memnetsim -arch GMN -topo sMESH -gpus 8 -sched round-robin
 //	memnetsim -arch UMN -workload CG.S -overlay -traffic
+//	memnetsim -arch UMN -workload BP -trace run.trace.json -metrics run.csv
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 
 	"memnet"
 	"memnet/internal/core"
+	"memnet/internal/obs"
 	"memnet/internal/ske"
 	"memnet/internal/workload"
 )
@@ -34,7 +36,11 @@ func main() {
 	seed := flag.Int64("seed", 1, "placement seed")
 	traffic := flag.Bool("traffic", false, "print the GPU-to-HMC traffic matrix")
 	jsonOut := flag.Bool("json", false, "emit the full result as JSON")
-	traceFile := flag.String("trace", "", "replay a kernel trace file instead of a built-in workload")
+	replayFile := flag.String("replay", "", "replay a kernel trace file instead of a built-in workload")
+	traceOut := flag.String("trace", "", "write a simulated-time timeline of the run to this file (Chrome trace_event JSON, opens in ui.perfetto.dev)")
+	metricsOut := flag.String("metrics", "", "write windowed metrics to this file (CSV, or JSONL with a .jsonl name)")
+	metricsEpoch := flag.String("metrics-epoch", "", "metrics sampling window, e.g. 500ns or 1us (default 1us)")
+	dumpOnDeadlock := flag.Bool("dump-state-on-deadlock", false, "append a full network state dump to a phase-deadlock error")
 	auditFlag := flag.Bool("audit", false, "check conservation invariants at every phase boundary (results are byte-identical either way)")
 	flag.Parse()
 	core.SetAuditDefault(*auditFlag)
@@ -48,14 +54,21 @@ func main() {
 
 	cfg := core.DefaultConfig(a, *wl)
 	cfg.Scale = *scale
-	if *traceFile != "" {
-		f, err := os.Open(*traceFile)
+	if *replayFile != "" {
+		f, err := os.Open(*replayFile)
 		check(err)
 		tk, err := workload.ReadTrace(f)
 		f.Close()
 		check(err)
 		cfg.Custom = workload.FromTrace(tk)
 	}
+	cfg.TraceOut = *traceOut
+	cfg.MetricsOut = *metricsOut
+	if *metricsEpoch != "" {
+		cfg.MetricsEpoch, err = obs.ParseDuration(*metricsEpoch)
+		check(err)
+	}
+	cfg.DumpStateOnDeadlock = *dumpOnDeadlock
 	cfg.NumGPUs = *gpus
 	cfg.Topo = tk
 	cfg.TopoMultiplier = *mult

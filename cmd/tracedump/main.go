@@ -1,10 +1,11 @@
 // Command tracedump captures a built-in workload's generated kernel into
 // the memnet text trace format (see internal/workload/trace.go), for
-// archival, external analysis, or replay via `memnetsim -trace`.
+// archival, external analysis, or replay via `memnetsim -replay`.
 //
 // Usage:
 //
 //	tracedump -workload SRAD -scale 0.25 > srad.trace
+//	tracedump -workload BP -arch GMN > bp.trace
 package main
 
 import (
@@ -20,10 +21,16 @@ import (
 func main() {
 	wl := flag.String("workload", "VA", fmt.Sprintf("workload: %v", memnet.Workloads()))
 	scale := flag.Float64("scale", 0.25, "input scale")
+	arch := flag.String("arch", "UMN", fmt.Sprintf("architecture whose buffer placement the trace captures: %v", memnet.Architectures()))
 	flag.Parse()
 
+	a, err := memnet.ParseArch(*arch)
+	if err != nil {
+		fail(err)
+	}
+
 	// Build a system to obtain a buffer binding, then capture the traces.
-	cfg := core.DefaultConfig(core.UMN, *wl)
+	cfg := core.DefaultConfig(a, *wl)
 	cfg.Scale = *scale
 	s, err := core.NewSystem(cfg)
 	if err != nil {

@@ -1,7 +1,7 @@
 // Trace replay: capture the kernel trace a built-in workload generates,
 // then replay it through a different architecture via the library API —
 // the workflow for running externally captured memory traces through the
-// simulator (see also cmd/tracedump and memnetsim -trace).
+// simulator (see also cmd/tracedump and memnetsim -replay).
 package main
 
 import (

@@ -1,0 +1,42 @@
+// Tracing: run backprop on the GPU memory network with the observability
+// layer enabled, producing a Perfetto timeline (open the .trace.json at
+// ui.perfetto.dev) and a windowed-metrics CSV. Tracing is passive — the
+// run's figures are byte-identical with it on or off.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"memnet"
+)
+
+func main() {
+	cfg := memnet.DefaultConfig(memnet.GMN, "BP")
+	cfg.Scale = 0.25
+	cfg.TraceOut = "bp-gmn.trace.json"
+	cfg.MetricsOut = "bp-gmn.metrics.csv"
+	cfg.MetricsEpoch = 500 * memnet.Nanosecond
+
+	res, err := memnet.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("ran %s on %s: total %.1f us (kernel %.1f us)\n",
+		res.Workload, res.Arch, float64(res.Total)/1e6, float64(res.Kernel)/1e6)
+
+	raw, err := os.ReadFile(cfg.MetricsOut)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows := strings.Count(string(raw), "\n") - 1 // minus the header
+	ti, err := os.Stat(cfg.TraceOut)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("timeline: %s (%d KB) — open in ui.perfetto.dev\n", cfg.TraceOut, ti.Size()/1024)
+	fmt.Printf("metrics:  %s (%d windows of %v ps)\n", cfg.MetricsOut, rows, cfg.MetricsEpoch)
+}

@@ -7,6 +7,8 @@ package core
 
 import (
 	"fmt"
+	"path/filepath"
+	"sync"
 	"sync/atomic"
 
 	"memnet/internal/cpu"
@@ -15,6 +17,7 @@ import (
 	"memnet/internal/mem"
 	"memnet/internal/noc"
 	"memnet/internal/pcie"
+	"memnet/internal/sim"
 	"memnet/internal/ske"
 	"memnet/internal/workload"
 )
@@ -122,6 +125,57 @@ func (c *Config) auditEnabled() bool {
 	return auditDefault.Load()
 }
 
+// obsDefault holds process-wide trace/metrics output directories applied
+// to configs that name no output files of their own. Experiment sweeps
+// build their configs internally, so the CLIs route their -trace/-metrics
+// directory flags through here. Mutex-guarded because sweeps build
+// systems from many goroutines; seq uniquifies concurrent runs' files.
+var obsDefault struct {
+	sync.Mutex
+	traceDir   string
+	metricsDir string
+	epoch      sim.Time
+	seq        int
+}
+
+// SetObsDefault routes every run whose Config leaves TraceOut and
+// MetricsOut empty into per-run files under the given directories (empty
+// string disables either output). Files are named
+// "<seq>-<workload>-<arch>.trace.json" / ".metrics.csv"; under a parallel
+// sweep the sequence numbers depend on scheduling order, but each file's
+// contents are deterministic.
+func SetObsDefault(traceDir, metricsDir string, epoch sim.Time) {
+	obsDefault.Lock()
+	defer obsDefault.Unlock()
+	obsDefault.traceDir = traceDir
+	obsDefault.metricsDir = metricsDir
+	obsDefault.epoch = epoch
+}
+
+// resolveObs applies the process-wide obs default to a config that names
+// no outputs; NewSystem calls it once the workload is known.
+func (c *Config) resolveObs(workloadAbbr string) {
+	if c.TraceOut != "" || c.MetricsOut != "" {
+		return
+	}
+	obsDefault.Lock()
+	defer obsDefault.Unlock()
+	if obsDefault.traceDir == "" && obsDefault.metricsDir == "" {
+		return
+	}
+	obsDefault.seq++
+	base := fmt.Sprintf("%03d-%s-%s", obsDefault.seq, workloadAbbr, c.Arch)
+	if obsDefault.traceDir != "" {
+		c.TraceOut = filepath.Join(obsDefault.traceDir, base+".trace.json")
+	}
+	if obsDefault.metricsDir != "" {
+		c.MetricsOut = filepath.Join(obsDefault.metricsDir, base+".metrics.csv")
+	}
+	if c.MetricsEpoch <= 0 {
+		c.MetricsEpoch = obsDefault.epoch
+	}
+}
+
 // Config describes one simulated system and run.
 type Config struct {
 	Arch     Arch
@@ -131,6 +185,23 @@ type Config struct {
 	// Audit attaches the invariant self-audit layer (AuditDefault follows
 	// the process-wide default set by SetAuditDefault).
 	Audit AuditMode
+
+	// TraceOut, when non-empty, records a simulated-time timeline of the
+	// run — SKE kernel/chunk spans, GPU occupancy, HMC bank activity,
+	// PCIe transfers, host phases, and the sampled metrics as counter
+	// tracks — and writes it to this file as Chrome trace_event JSON
+	// (openable in ui.perfetto.dev). Like auditing, tracing is passive:
+	// it schedules no events and results are byte-identical either way.
+	TraceOut string
+	// MetricsOut, when non-empty, writes windowed metrics to this file:
+	// one row per MetricsEpoch of simulated time, CSV by default or JSON
+	// Lines when the name ends in ".jsonl".
+	MetricsOut string
+	// MetricsEpoch is the metrics sampling window (default 1 µs).
+	MetricsEpoch sim.Time
+	// DumpStateOnDeadlock appends a full network state dump to the error
+	// when a phase deadlocks (see noc.DumpState).
+	DumpStateOnDeadlock bool
 
 	// Custom, when non-nil, overrides Workload/Scale with a caller-built
 	// workload — e.g. a replayed kernel trace (workload.FromTrace).

@@ -1,7 +1,11 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
+	"os"
+	"sort"
+	"strings"
 
 	"memnet/internal/energy"
 	"memnet/internal/mem"
@@ -102,8 +106,53 @@ func (s *System) Execute() (*Result, error) {
 	if err := s.checkAudits("end of run"); err != nil {
 		return nil, err
 	}
+	if err := s.flushObs(); err != nil {
+		return nil, err
+	}
 	s.collect(res)
 	return res, nil
+}
+
+// flushObs closes the final (possibly partial) metrics window and writes
+// the trace and metrics files named by the config. It runs after the last
+// event, so file I/O cannot perturb the simulation.
+func (s *System) flushObs() error {
+	if s.tr == nil && s.samp == nil {
+		return nil
+	}
+	s.samp.Finish(s.eng.Now())
+	if s.cfg.TraceOut != "" && s.tr != nil {
+		f, err := os.Create(s.cfg.TraceOut)
+		if err != nil {
+			return fmt.Errorf("core: trace output: %w", err)
+		}
+		werr := s.tr.Write(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("core: trace output: %w", werr)
+		}
+	}
+	if s.cfg.MetricsOut != "" && s.samp != nil {
+		f, err := os.Create(s.cfg.MetricsOut)
+		if err != nil {
+			return fmt.Errorf("core: metrics output: %w", err)
+		}
+		var werr error
+		if strings.HasSuffix(s.cfg.MetricsOut, ".jsonl") {
+			werr = s.samp.WriteJSONL(f)
+		} else {
+			werr = s.samp.WriteCSV(f)
+		}
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("core: metrics output: %w", werr)
+		}
+	}
+	return nil
 }
 
 // checkAudits runs the registered invariant checkers (a no-op with auditing
@@ -125,10 +174,26 @@ func (s *System) runPhase(name string, start func(done func())) (sim.Time, error
 	t0 := s.eng.Now()
 	finished := false
 	start(func() { finished = true })
-	s.eng.RunWhile(func() bool { return !finished })
-	if !finished {
-		return 0, fmt.Errorf("core: phase %q deadlocked at t=%d ps (no events left)", name, s.eng.Now())
+	if s.samp != nil {
+		// The sampler closes metrics windows between events; it schedules
+		// nothing itself, so the event sequence matches the plain loop.
+		s.eng.RunWhile(func() bool {
+			s.samp.Advance(s.eng.Now())
+			return !finished
+		})
+	} else {
+		s.eng.RunWhile(func() bool { return !finished })
 	}
+	if !finished {
+		err := fmt.Errorf("core: phase %q deadlocked at t=%d ps (no events left)", name, s.eng.Now())
+		if s.cfg.DumpStateOnDeadlock {
+			var dump bytes.Buffer
+			s.net.DumpState(&dump)
+			err = fmt.Errorf("%w\nnetwork state:\n%s", err, dump.String())
+		}
+		return 0, err
+	}
+	s.hostTrack.Span(name, t0, s.eng.Now())
 	if err := s.checkAudits(fmt.Sprintf("phase %q", name)); err != nil {
 		return 0, err
 	}
@@ -173,11 +238,19 @@ func (s *System) memcpy(h2d bool, done func()) {
 				s.eng.After(shootdown, done)
 			}
 		}
-		for c, bytes := range byCluster {
+		// Issue in cluster order: the phase time is order-independent (all
+		// transfers serialize on the CPU link), but the per-transfer spans
+		// in the trace must be deterministic.
+		clusters := make([]int, 0, len(byCluster))
+		for c := range byCluster {
+			clusters = append(clusters, c)
+		}
+		sort.Ints(clusters)
+		for _, c := range clusters {
 			if h2d {
-				s.fabric.Send(cpuEP, s.ep[c], bytes, finish)
+				s.fabric.Send(cpuEP, s.ep[c], byCluster[c], finish)
 			} else {
-				s.fabric.Send(s.ep[c], cpuEP, bytes, finish)
+				s.fabric.Send(s.ep[c], cpuEP, byCluster[c], finish)
 			}
 		}
 		return

@@ -10,6 +10,7 @@ import (
 	"memnet/internal/hmc"
 	"memnet/internal/mem"
 	"memnet/internal/noc"
+	"memnet/internal/obs"
 	"memnet/internal/pcie"
 	"memnet/internal/sim"
 	"memnet/internal/ske"
@@ -49,6 +50,13 @@ type System struct {
 	// Checks run at phase boundaries, where the engine is between events
 	// and every conservation equation must balance.
 	aud *audit.Registry
+
+	// tr/samp are the observability layer; nil unless the config names a
+	// trace or metrics output. Like auditing, they are passive: the run's
+	// event sequence and results are identical with them on or off.
+	tr        *obs.Tracer
+	samp      *obs.Sampler
+	hostTrack obs.Track
 
 	gpuLineFlits int // 128 B / 16 B
 	cpuLineFlits int // 64 B / 16 B
@@ -169,7 +177,42 @@ func NewSystem(cfg Config) (*System, error) {
 		s.aud = audit.New(func() int64 { return int64(s.eng.Now()) })
 		s.registerAudits()
 	}
+	s.cfg.resolveObs(w.Abbr)
+	if s.cfg.TraceOut != "" || s.cfg.MetricsOut != "" {
+		if s.cfg.TraceOut != "" {
+			s.tr = obs.NewTracer()
+		}
+		// The sampler runs whenever observability is on: with only a trace
+		// requested, its windows still feed the trace's counter tracks.
+		s.samp = obs.NewSampler(s.cfg.MetricsEpoch)
+		s.attachObs()
+	}
 	return s, nil
+}
+
+// attachObs wires the observability layer through every subsystem. New
+// components follow the same pattern as registerAudits: implement
+// AttachTracer / RegisterObs and hook them in here. All calls are nil-safe,
+// so a metrics-only run (nil tracer) reuses the same wiring.
+func (s *System) attachObs() {
+	s.hostTrack = s.tr.NewTrack("host")
+	s.rt.AttachTracer(s.tr)
+	for _, g := range s.gpus {
+		g.AttachTracer(s.tr)
+	}
+	for i, h := range s.hmcs {
+		name := fmt.Sprintf("hmc%d", i)
+		h.AttachTracer(s.tr, name)
+		h.RegisterObs(s.samp, name)
+	}
+	if s.fabric != nil {
+		s.fabric.AttachTracer(s.tr)
+		s.fabric.RegisterObs(s.samp)
+	}
+	s.net.RegisterObs(s.samp)
+	// Last, so the bridge track sorts after the component tracks: mirror
+	// every metrics window onto the trace as counter series.
+	s.samp.AttachTracer(s.tr)
 }
 
 // registerAudits attaches every subsystem's conservation checkers to the
@@ -198,6 +241,13 @@ func (s *System) registerAudits() {
 // Audit returns the system's invariant registry, or nil when auditing is
 // disabled.
 func (s *System) Audit() *audit.Registry { return s.aud }
+
+// Tracer returns the system's timeline tracer, or nil when tracing is off.
+func (s *System) Tracer() *obs.Tracer { return s.tr }
+
+// Sampler returns the system's metrics sampler, or nil when observability
+// is off.
+func (s *System) Sampler() *obs.Sampler { return s.samp }
 
 // Engine exposes the event engine (examples and tests drive it directly).
 func (s *System) Engine() *sim.Engine { return s.eng }

@@ -21,6 +21,7 @@ import (
 	"memnet/internal/audit"
 	"memnet/internal/cache"
 	"memnet/internal/mem"
+	"memnet/internal/obs"
 	"memnet/internal/sim"
 	"memnet/internal/stats"
 )
@@ -177,6 +178,10 @@ type GPU struct {
 	// Launch/AddCTAs, removed by StealCTAs. The audit checks it against
 	// executed + queued + active at every checkpoint.
 	accepted int64
+
+	// trace carries the SM-occupancy counter series (inert when tracing
+	// is off).
+	trace obs.Track
 
 	Stats Stats
 }
@@ -369,8 +374,31 @@ func (g *GPU) reapContexts() {
 func (g *GPU) ctaFinished(s *sm, ctx *launchCtx) {
 	ctx.activeCTAs--
 	g.Stats.CTAs.Inc()
+	g.traceOccupancy()
 	g.fillSMs()
 	g.maybeDone(ctx)
+}
+
+// AttachTracer creates this GPU's trace track, carrying the active-CTA
+// occupancy counter. A nil tracer leaves the GPU inert.
+func (g *GPU) AttachTracer(t *obs.Tracer) {
+	if t == nil {
+		return
+	}
+	g.trace = t.NewTrack(fmt.Sprintf("gpu%d", g.id))
+}
+
+// traceOccupancy samples the device's resident-CTA count onto the trace;
+// a single nil check when tracing is off.
+func (g *GPU) traceOccupancy() {
+	if !g.trace.Enabled() {
+		return
+	}
+	active := 0
+	for _, c := range g.ctxs {
+		active += c.activeCTAs
+	}
+	g.trace.Counter("active_ctas", g.eng.Now(), float64(active))
 }
 
 func (g *GPU) maybeDone(ctx *launchCtx) {

@@ -63,6 +63,7 @@ func (s *sm) startCTA(ctx *launchCtx, id int) {
 	s.residentCTAs++
 	s.residentThreads += threads
 	ctx.activeCTAs++
+	g.traceOccupancy()
 	for w := 0; w < warps; w++ {
 		ws := &warpState{sm: s, cta: cta, trace: ctx.kernel.WarpTrace(id, w)}
 		g.eng.After(0, ws.step)

@@ -15,6 +15,7 @@ import (
 	"memnet/internal/audit"
 	"memnet/internal/dram"
 	"memnet/internal/mem"
+	"memnet/internal/obs"
 	"memnet/internal/sim"
 	"memnet/internal/stats"
 )
@@ -153,6 +154,32 @@ func (h *HMC) QueuedRequests() int {
 	return n
 }
 
+// AttachTracer creates one trace track per vault (named "<name>/v<i>"),
+// carrying bank access spans and queue-depth counters. A nil tracer
+// leaves the cube inert.
+func (h *HMC) AttachTracer(t *obs.Tracer, name string) {
+	if t == nil {
+		return
+	}
+	for i, v := range h.vaults {
+		v.trace = t.NewTrack(fmt.Sprintf("%s/v%d", name, i))
+	}
+}
+
+// RegisterObs registers this cube's windowed gauges on sm.
+func (h *HMC) RegisterObs(sm *obs.Sampler, name string) {
+	if sm == nil {
+		return
+	}
+	sm.Gauge(name+".queued", func() float64 {
+		q := 0
+		for _, v := range h.vaults {
+			q += len(v.queue) + v.inService
+		}
+		return float64(q)
+	})
+}
+
 // RegisterAudits attaches this cube's checkers to reg under the given
 // component name. Request conservation: every submitted request is queued,
 // in service, or completed — Done fires exactly once per request. Bank FSM
@@ -199,6 +226,8 @@ type vault struct {
 	// inService counts requests popped from the queue whose completion
 	// event has not fired yet.
 	inService int
+	// trace is this vault's timeline (inert unless HMC.AttachTracer ran).
+	trace obs.Track
 }
 
 func newVault(h *HMC) *vault {
@@ -214,7 +243,16 @@ func newVault(h *HMC) *vault {
 
 func (v *vault) push(req *Request) {
 	v.queue = append(v.queue, req)
+	v.traceQueueDepth()
 	v.kick()
+}
+
+// traceQueueDepth samples the vault's outstanding-request count onto its
+// trace track.
+func (v *vault) traceQueueDepth() {
+	if v.trace.Enabled() {
+		v.trace.Counter("queue", v.h.eng.Now(), float64(len(v.queue)+v.inService))
+	}
 }
 
 func (v *vault) kick() {
@@ -243,6 +281,7 @@ func (v *vault) issue() {
 		}
 		v.h.Stats.Refreshes.Inc()
 		end := now + v.h.cfg.RefreshLatency
+		v.trace.Span("REF", now, end)
 		v.colFree = maxT(v.colFree, end)
 		v.cmdFree = maxT(v.cmdFree, end)
 		v.nextRefresh += v.h.cfg.RefreshInterval
@@ -257,7 +296,8 @@ func (v *vault) issue() {
 	now := v.h.eng.Now()
 	t := &v.h.cfg.Timing
 	bank := v.banks[req.Loc.Bank]
-	if bank.RowHit(req.Loc.Row) {
+	rowHit := bank.RowHit(req.Loc.Row)
+	if rowHit {
 		v.h.Stats.RowHits.Inc()
 	} else {
 		v.h.Stats.RowMisses.Inc()
@@ -277,10 +317,26 @@ func (v *vault) issue() {
 	}
 	v.cmdFree = now + t.TCK
 	v.h.Stats.QueueWait.Add(float64(issueAt - req.arrive))
+	if v.trace.Enabled() {
+		// Bank state span: the command sequence (ACT on a row miss, then
+		// RD/WR, or the atomic read-ALU-write) from issue to data return.
+		op := "RD"
+		switch {
+		case req.Atomic:
+			op = "ATOM"
+		case req.Write:
+			op = "WR"
+		}
+		if !rowHit {
+			op = "ACT+" + op
+		}
+		v.trace.Span(fmt.Sprintf("%s b%d", op, req.Loc.Bank), now, done)
+	}
 	v.h.eng.At(done, func() {
 		v.inService--
 		v.h.completed++
 		v.h.Stats.Service.Add(float64(done - req.arrive))
+		v.traceQueueDepth()
 		if req.Done != nil {
 			req.Done(req)
 		}

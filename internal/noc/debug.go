@@ -10,8 +10,10 @@ import (
 // and terminal injection queues. It is a diagnostic aid for stalled
 // simulations.
 func (n *Network) DumpState(w io.Writer) {
-	fmt.Fprintf(w, "cycle=%d active=%d\n", n.cycle, n.active)
+	fmt.Fprintf(w, "cycle=%d active=%d inflight=%d (injected=%d retired=%d)\n",
+		n.cycle, n.active, n.flitsInjected-n.flitsRetired, n.flitsInjected, n.flitsRetired)
 	for _, r := range n.routers {
+		fmt.Fprintf(w, "router %d: buffered=%d flits\n", r.id, r.BufferedFlits())
 		ports := r.allPorts()
 		for pi, p := range ports {
 			for vi := range p.vcs {

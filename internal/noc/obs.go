@@ -1,0 +1,41 @@
+package noc
+
+import (
+	"fmt"
+
+	"memnet/internal/obs"
+)
+
+// RegisterObs registers the network's windowed gauges on sm: per-channel
+// flit utilization (busy cycles over epoch cycles), per-router VC-buffer
+// occupancy, network-wide injected/retired flit rates, and — when the
+// topology has overlay pass-through chains — the pass-hop rate. Gauges are
+// sampled at window boundaries only, so per-flit event volume never enters
+// the trace. A nil sampler registers nothing.
+func (n *Network) RegisterObs(sm *obs.Sampler) {
+	if sm == nil {
+		return
+	}
+	epochCycles := float64(sm.Epoch()) / float64(n.clk.Period())
+	if epochCycles <= 0 {
+		epochCycles = 1
+	}
+	sm.Rate("noc.injected", func() float64 { return float64(n.flitsInjected) }, 1)
+	sm.Rate("noc.retired", func() float64 { return float64(n.flitsRetired) }, 1)
+	for _, c := range n.channels {
+		c := c
+		sm.Rate(fmt.Sprintf("noc/ch%d.util", c.index),
+			func() float64 { return float64(c.busyCycles) }, 1/epochCycles)
+	}
+	for _, r := range n.routers {
+		r := r
+		sm.Gauge(fmt.Sprintf("noc/r%d.vcbuf", r.id),
+			func() float64 { return float64(r.BufferedFlits()) })
+	}
+	for _, c := range n.channels {
+		if c.passNext != nil {
+			sm.Rate("noc/overlay.pass", func() float64 { return n.Stats.PassHops.Sum() }, 1)
+			break
+		}
+	}
+}

@@ -69,6 +69,21 @@ func (r *Router) Degree() int { return len(r.out) }
 // router's minimal route choices.
 func (r *Router) SetAdaptive(on bool) { r.adaptive = on }
 
+// BufferedFlits returns the flits resident in this router's input VC
+// buffers, including the NI injection port.
+func (r *Router) BufferedFlits() int {
+	n := 0
+	for _, p := range r.in {
+		for vi := range p.vcs {
+			n += len(p.vcs[vi].q)
+		}
+	}
+	for vi := range r.ni.vcs {
+		n += len(r.ni.vcs[vi].q)
+	}
+	return n
+}
+
 // addPort creates a paired input/output port. out carries flits away from
 // the router, in brings flits to it.
 func (r *Router) addPort(out, in *Channel, peer peerKind, peerID int) int {

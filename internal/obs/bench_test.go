@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"testing"
+
+	"memnet/internal/sim"
+)
+
+// BenchmarkTraceDisabled measures the disabled emission path: zero Tracks
+// and a nil Sampler, exactly what every instrumented component holds when
+// tracing is off. Must report 0 allocs/op.
+func BenchmarkTraceDisabled(b *testing.B) {
+	var tr *Tracer
+	tk := tr.NewTrack("off")
+	var s *Sampler
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tk.Span("span", 0, 100)
+		tk.Instant("instant", 50)
+		tk.Counter("counter", 50, 1)
+		s.Advance(sim.Time(i))
+	}
+}
+
+// BenchmarkTraceEnabled measures the recording path for scale context.
+func BenchmarkTraceEnabled(b *testing.B) {
+	tr := NewTracer()
+	tk := tr.NewTrack("on")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tk.Span("span", sim.Time(i), sim.Time(i+100))
+	}
+}

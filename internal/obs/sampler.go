@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"memnet/internal/sim"
+)
+
+// DefaultEpoch is the sampling window used when a configuration enables
+// metrics without choosing one.
+const DefaultEpoch = sim.Microsecond
+
+// gauge is one registered metric. Instantaneous gauges report fn()
+// directly; rate gauges report the windowed delta of a cumulative counter
+// scaled by a constant (e.g. busy-cycles per epoch-cycles = utilization).
+type gauge struct {
+	name  string
+	fn    func() float64
+	rate  bool
+	scale float64
+	prev  float64
+}
+
+type row struct {
+	window int
+	at     sim.Time
+	vals   []float64
+}
+
+// Sampler snapshots registered gauges every fixed simulated-time window.
+// It is driven between events (core passes engine time into Advance from
+// its phase loop) and therefore schedules nothing itself; window
+// boundaries that fall inside an event gap are sampled retroactively at
+// the boundary timestamp, with whatever state the preceding event left.
+// All methods are nil-safe; a nil *Sampler is the disabled path.
+type Sampler struct {
+	epoch  sim.Time
+	gauges []gauge
+	rows   []row
+
+	next sim.Time // next unsampled window boundary
+	last sim.Time // last sampled timestamp
+	done bool
+
+	bridge Track // counter mirror into an attached tracer
+}
+
+// NewSampler returns a sampler with the given window; non-positive epochs
+// fall back to DefaultEpoch.
+func NewSampler(epoch sim.Time) *Sampler {
+	if epoch <= 0 {
+		epoch = DefaultEpoch
+	}
+	return &Sampler{epoch: epoch, next: epoch}
+}
+
+// Epoch returns the sampling window.
+func (s *Sampler) Epoch() sim.Time {
+	if s == nil {
+		return 0
+	}
+	return s.epoch
+}
+
+// Gauge registers an instantaneous metric sampled at each window boundary.
+func (s *Sampler) Gauge(name string, fn func() float64) {
+	if s == nil {
+		return
+	}
+	s.gauges = append(s.gauges, gauge{name: name, fn: fn})
+}
+
+// Rate registers a windowed-delta metric over a cumulative counter: each
+// sample reports (fn() - previous fn()) * scale.
+func (s *Sampler) Rate(name string, fn func() float64, scale float64) {
+	if s == nil {
+		return
+	}
+	s.gauges = append(s.gauges, gauge{name: name, fn: fn, rate: true, scale: scale})
+}
+
+// AttachTracer mirrors every sample into t as counter events on one
+// "metrics" track (Perfetto renders each gauge name as its own counter
+// row). Call after all gauges are registered and before the run starts.
+func (s *Sampler) AttachTracer(t *Tracer) {
+	if s == nil || t == nil {
+		return
+	}
+	s.bridge = t.NewTrack("metrics")
+}
+
+// Advance samples every window boundary at or before now. Core calls it
+// from the phase loop between events; it never schedules anything.
+func (s *Sampler) Advance(now sim.Time) {
+	if s == nil {
+		return
+	}
+	for s.next <= now {
+		s.sample(s.next)
+		s.next += s.epoch
+	}
+}
+
+// Finish samples any boundaries up to end plus, when end is not itself a
+// boundary, one final partial-window row at end — so a run of duration T
+// yields exactly ⌈T/epoch⌉ rows. Idempotent.
+func (s *Sampler) Finish(end sim.Time) {
+	if s == nil || s.done {
+		return
+	}
+	s.done = true
+	s.Advance(end)
+	if end > s.last {
+		s.sample(end)
+	}
+}
+
+func (s *Sampler) sample(at sim.Time) {
+	vals := make([]float64, len(s.gauges))
+	for i := range s.gauges {
+		g := &s.gauges[i]
+		v := g.fn()
+		if g.rate {
+			d := v - g.prev
+			g.prev = v
+			v = d * g.scale
+		}
+		vals[i] = v
+		if s.bridge.Enabled() {
+			s.bridge.Counter(g.name, at, v)
+		}
+	}
+	s.rows = append(s.rows, row{window: len(s.rows) + 1, at: at, vals: vals})
+	s.last = at
+}
+
+// Rows returns the number of sampled windows so far.
+func (s *Sampler) Rows() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.rows)
+}
+
+// WriteCSV writes the time series as CSV: a header row of
+// "window,time_ps,<gauge names...>" then one row per sampled window.
+func (s *Sampler) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("window,time_ps")
+	if s != nil {
+		for _, g := range s.gauges {
+			bw.WriteByte(',')
+			bw.WriteString(g.name)
+		}
+		bw.WriteByte('\n')
+		for _, r := range s.rows {
+			fmt.Fprintf(bw, "%d,%d", r.window, int64(r.at))
+			for _, v := range r.vals {
+				bw.WriteByte(',')
+				bw.WriteString(jsonFloat(v))
+			}
+			bw.WriteByte('\n')
+		}
+	} else {
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// WriteJSONL writes the time series as JSON Lines: one object per window
+// with "window", "time_ps" and every gauge keyed by name.
+func (s *Sampler) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if s != nil {
+		for _, r := range s.rows {
+			fmt.Fprintf(bw, `{"window":%d,"time_ps":%d`, r.window, int64(r.at))
+			for i, v := range r.vals {
+				fmt.Fprintf(bw, ",%s:%s", jsonString(s.gauges[i].name), jsonFloat(v))
+			}
+			bw.WriteString("}\n")
+		}
+	}
+	return bw.Flush()
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"memnet/internal/audit"
+	"memnet/internal/obs"
 	"memnet/internal/sim"
 	"memnet/internal/stats"
 )
@@ -63,6 +64,10 @@ type Fabric struct {
 	// request packet must eventually be paired with exactly one response.
 	rtOpen int64
 
+	// traces holds one timeline per endpoint for its outbound transfer
+	// spans; empty when tracing is off.
+	traces []obs.Track
+
 	Stats Stats
 }
 
@@ -82,6 +87,29 @@ func (f *Fabric) AddEndpoint(name string) int {
 
 // NumEndpoints returns the endpoint count.
 func (f *Fabric) NumEndpoints() int { return len(f.ports) }
+
+// AttachTracer creates one trace track per endpoint, carrying its
+// outbound transfer spans. Call after all endpoints are added; a nil
+// tracer leaves the fabric inert.
+func (f *Fabric) AttachTracer(t *obs.Tracer) {
+	if t == nil {
+		return
+	}
+	f.traces = make([]obs.Track, len(f.ports))
+	for i, p := range f.ports {
+		f.traces[i] = t.NewTrack("pcie/" + p.name)
+	}
+}
+
+// RegisterObs registers the fabric's windowed gauges on sm: payload bytes
+// moved per window and open round trips.
+func (f *Fabric) RegisterObs(sm *obs.Sampler) {
+	if sm == nil {
+		return
+	}
+	sm.Rate("pcie.bytes", func() float64 { return float64(f.Stats.Bytes.Value()) }, 1)
+	sm.Gauge("pcie.open_rt", func() float64 { return float64(f.rtOpen) })
+}
 
 // wireTime returns the serialization time of n payload bytes including TLP
 // header overhead.
@@ -119,6 +147,11 @@ func (f *Fabric) Send(src, dst int, n int64, done func()) {
 	end := start + ser
 	s.upFree = end
 	d.downFree = end
+	if len(f.traces) == len(f.ports) && f.traces[src].Enabled() {
+		// Transfers serialize on the source's upstream link, so the spans
+		// on one endpoint track never overlap.
+		f.traces[src].Span(fmt.Sprintf("%dB->%s", n, d.name), start, end)
+	}
 	f.Stats.Transfers.Inc()
 	f.Stats.Bytes.Add(n)
 	f.Stats.WireBytes.Add(wire)

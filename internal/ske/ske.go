@@ -25,6 +25,7 @@ import (
 
 	"memnet/internal/audit"
 	"memnet/internal/gpu"
+	"memnet/internal/obs"
 	"memnet/internal/sim"
 	"memnet/internal/stats"
 )
@@ -102,6 +103,15 @@ type Runtime struct {
 	assigned int64 // CTAs handed to GPUs across all launches
 	aud      *audit.Registry
 
+	// Tracing state (inert unless AttachTracer ran): the runtime track
+	// carries kernel spans and steal instants; each GPU's track carries
+	// its CTA-chunk spans.
+	trace     obs.Track
+	gpuTrace  []obs.Track
+	launchAt  sim.Time
+	chunkAt   []sim.Time
+	chunkCTAs []int
+
 	Stats Stats
 }
 
@@ -172,17 +182,23 @@ func (r *Runtime) Launch(kernel gpu.Kernel, onDone func()) {
 	}
 	r.assigned += int64(kernel.NumCTAs())
 	r.remaining = len(r.gpus)
+	r.launchAt = r.eng.Now()
+	if r.trace.Enabled() {
+		r.trace.Instant(fmt.Sprintf("launch %s (%d CTAs)", kernel.Name(), kernel.NumCTAs()), r.launchAt)
+	}
 	// Page-table synchronization precedes the per-GPU launch commands.
 	r.eng.After(r.cfg.PageTableSync, func() {
 		for g, part := range parts {
 			g, part := g, part
 			r.Stats.PerGPU[g].Add(int64(len(part)))
+			r.noteChunk(g, len(part))
 			r.gpus[g].Launch(kernel, part, func() { r.gpuDone(g) })
 		}
 	})
 }
 
 func (r *Runtime) gpuDone(g int) {
+	r.endChunk(g)
 	if r.cfg.Policy == StaticSteal {
 		if victim := r.mostLoaded(); victim >= 0 {
 			stolen := r.gpus[victim].StealCTAs(r.cfg.StealChunk)
@@ -190,7 +206,12 @@ func (r *Runtime) gpuDone(g int) {
 				r.Stats.CTAsStolen.Add(int64(len(stolen)))
 				r.Stats.PerGPU[victim].Add(-int64(len(stolen)))
 				r.Stats.PerGPU[g].Add(int64(len(stolen)))
+				if r.trace.Enabled() {
+					r.trace.Instant(fmt.Sprintf("steal %d CTAs gpu%d<-gpu%d",
+						len(stolen), g, victim), r.eng.Now())
+				}
 				// Relaunch this GPU with the stolen work.
+				r.noteChunk(g, len(stolen))
 				r.gpus[g].Launch(r.kernel, stolen, func() { r.gpuDone(g) })
 				return
 			}
@@ -198,10 +219,46 @@ func (r *Runtime) gpuDone(g int) {
 	}
 	r.remaining--
 	if r.remaining == 0 && r.onDone != nil {
+		if r.trace.Enabled() {
+			r.trace.Span(r.kernel.Name(), r.launchAt, r.eng.Now())
+		}
 		done := r.onDone
 		r.onDone = nil
 		done()
 	}
+}
+
+// AttachTracer creates the runtime's trace tracks: one for kernel-level
+// events and one per physical GPU for its CTA-chunk spans. Passing a nil
+// tracer leaves the runtime inert.
+func (r *Runtime) AttachTracer(t *obs.Tracer) {
+	if t == nil {
+		return
+	}
+	r.trace = t.NewTrack("ske")
+	r.gpuTrace = make([]obs.Track, len(r.gpus))
+	for g := range r.gpus {
+		r.gpuTrace[g] = t.NewTrack(fmt.Sprintf("ske/gpu%d", g))
+	}
+	r.chunkAt = make([]sim.Time, len(r.gpus))
+	r.chunkCTAs = make([]int, len(r.gpus))
+}
+
+// noteChunk marks the start of a CTA chunk handed to GPU g.
+func (r *Runtime) noteChunk(g, ctas int) {
+	if r.chunkAt == nil {
+		return
+	}
+	r.chunkAt[g] = r.eng.Now()
+	r.chunkCTAs[g] = ctas
+}
+
+// endChunk closes GPU g's open chunk span when its launch drains.
+func (r *Runtime) endChunk(g int) {
+	if r.chunkAt == nil {
+		return
+	}
+	r.gpuTrace[g].Span(fmt.Sprintf("%d CTAs", r.chunkCTAs[g]), r.chunkAt[g], r.eng.Now())
 }
 
 // RegisterAudits attaches the runtime's CTA-conservation checkers to reg

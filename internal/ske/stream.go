@@ -1,6 +1,10 @@
 package ske
 
-import "memnet/internal/gpu"
+import (
+	"fmt"
+
+	"memnet/internal/gpu"
+)
 
 // Stream is an in-order queue of kernel launches on the virtual GPU.
 // Kernels within one stream execute back to back; kernels in different
@@ -64,14 +68,22 @@ func (r *Runtime) launchConcurrent(kernel gpu.Kernel, onDone func()) {
 	r.Stats.Kernels.Inc()
 	parts := Assign(r.cfg.Policy, kernel.NumCTAs(), len(r.gpus))
 	remaining := len(r.gpus)
+	launchAt := r.eng.Now()
+	if r.trace.Enabled() {
+		r.trace.Instant(fmt.Sprintf("stream launch %s (%d CTAs)",
+			kernel.Name(), kernel.NumCTAs()), launchAt)
+	}
 	r.eng.After(r.cfg.PageTableSync, func() {
 		for g, part := range parts {
 			g, part := g, part
 			r.Stats.PerGPU[g].Add(int64(len(part)))
 			r.gpus[g].Launch(kernel, part, func() {
 				remaining--
-				if remaining == 0 && onDone != nil {
-					onDone()
+				if remaining == 0 {
+					r.trace.Span(kernel.Name(), launchAt, r.eng.Now())
+					if onDone != nil {
+						onDone()
+					}
 				}
 			})
 		}

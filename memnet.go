@@ -81,6 +81,14 @@ const (
 // Time is a simulation timestamp/duration in picoseconds.
 type Time = sim.Time
 
+// Time units, for configuration fields like Config.MetricsEpoch.
+const (
+	Picosecond  = sim.Picosecond
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+)
+
 // DefaultConfig returns the paper's 4GPU-16HMC Table I configuration for
 // an architecture and workload (see Workloads for names).
 func DefaultConfig(arch Arch, workloadName string) Config {
