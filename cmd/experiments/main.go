@@ -12,7 +12,7 @@
 //	experiments -exp fig7 -trace traces/ -metrics metrics/
 //
 // Known experiments: fig7 fig10 fig12 fig14 fig15 fig16 fig17 fig18 fig19
-// ctasched placement table2.
+// ctasched placement table2 degradation.
 //
 // Each experiment's runs are independent simulations; -par (default:
 // MEMNET_PAR or the CPU count) selects how many execute concurrently.
@@ -33,6 +33,7 @@ import (
 	"memnet"
 	"memnet/internal/core"
 	"memnet/internal/exp"
+	"memnet/internal/fault"
 	"memnet/internal/obs"
 	"memnet/internal/par"
 )
@@ -50,8 +51,17 @@ func main() {
 	traceDir := flag.String("trace", "", "write one Perfetto trace per run into this directory")
 	metricsDir := flag.String("metrics", "", "write one windowed-metrics CSV per run into this directory")
 	metricsEpoch := flag.String("metrics-epoch", "", "metrics sampling window, e.g. 500ns or 1us (default 1us)")
+	faultsFile := flag.String("faults", "", "JSON fault-injection schedule applied to every run (see internal/fault)")
+	degLinks := flag.Int("deg-links", 4, "max failed link pairs for the degradation sweep")
 	flag.Parse()
 	core.SetAuditDefault(*auditFlag)
+	if *faultsFile != "" {
+		sched, err := fault.LoadFile(*faultsFile)
+		if err != nil {
+			fatal(err)
+		}
+		core.SetFaultDefault(sched)
+	}
 	if *traceDir != "" || *metricsDir != "" {
 		var epoch memnet.Time
 		if *metricsEpoch != "" {
@@ -184,6 +194,13 @@ func main() {
 				return "", err
 			}
 			return exp.SchedString(rows), nil
+		}},
+		{"degradation", func() (string, error) {
+			rows, err := exp.Degradation(*degLinks)
+			if err != nil {
+				return "", err
+			}
+			return exp.DegradationString(rows), nil
 		}},
 	}
 

@@ -7,6 +7,7 @@
 //	memnetsim -arch GMN -topo sMESH -gpus 8 -sched round-robin
 //	memnetsim -arch UMN -workload CG.S -overlay -traffic
 //	memnetsim -arch UMN -workload BP -trace run.trace.json -metrics run.csv
+//	memnetsim -arch UMN -workload BP -fault-links 2 -fault-gpus 1 -audit
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 
 	"memnet"
 	"memnet/internal/core"
+	"memnet/internal/fault"
 	"memnet/internal/obs"
 	"memnet/internal/ske"
 	"memnet/internal/workload"
@@ -42,6 +44,15 @@ func main() {
 	metricsEpoch := flag.String("metrics-epoch", "", "metrics sampling window, e.g. 500ns or 1us (default 1us)")
 	dumpOnDeadlock := flag.Bool("dump-state-on-deadlock", false, "append a full network state dump to a phase-deadlock error")
 	auditFlag := flag.Bool("audit", false, "check conservation invariants at every phase boundary (results are byte-identical either way)")
+	faultsFile := flag.String("faults", "", "JSON fault-injection schedule (see internal/fault; empty = no faults)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for generated fault schedules and auto link picks")
+	faultHorizon := flag.String("fault-horizon", "", "window generated faults are drawn from, e.g. 100us (default 1ms)")
+	faultTransients := flag.Int("fault-transients", 0, "generate N transient link-error bursts")
+	faultLinks := flag.Int("fault-links", 0, "permanently fail N survivable link pairs")
+	faultGPUs := flag.Int("fault-gpus", 0, "fail-stop N GPUs mid-run")
+	faultVaults := flag.Int("fault-vaults", 0, "fail-stop N HMC vaults mid-run")
+	faultPCIe := flag.Int("fault-pcie", 0, "generate N PCIe transfer-timeout bursts")
+	watchdog := flag.String("watchdog", "", "phase forward-progress window, e.g. 10ms; 'off' disables (default 5ms)")
 	flag.Parse()
 	core.SetAuditDefault(*auditFlag)
 
@@ -77,6 +88,25 @@ func main() {
 	cfg.Adaptive = *adaptive
 	cfg.Sched = pol
 	cfg.Seed = *seed
+	if *faultsFile != "" {
+		cfg.Faults, err = fault.LoadFile(*faultsFile)
+		check(err)
+	}
+	cfg.FaultRates = fault.Rates{Seed: *faultSeed, Transients: *faultTransients,
+		FailLinks: *faultLinks, FailGPUs: *faultGPUs, FailVaults: *faultVaults,
+		PCIeTimeouts: *faultPCIe}
+	if *faultHorizon != "" {
+		cfg.FaultRates.Horizon, err = obs.ParseDuration(*faultHorizon)
+		check(err)
+	}
+	switch *watchdog {
+	case "":
+	case "off":
+		cfg.Watchdog = -1
+	default:
+		cfg.Watchdog, err = obs.ParseDuration(*watchdog)
+		check(err)
+	}
 
 	res, err := core.Run(cfg)
 	check(err)

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 
 	"memnet/internal/cpu"
+	"memnet/internal/fault"
 	"memnet/internal/gpu"
 	"memnet/internal/hmc"
 	"memnet/internal/mem"
@@ -176,6 +177,25 @@ func (c *Config) resolveObs(workloadAbbr string) {
 	}
 }
 
+// faultDefault is a process-wide fault schedule applied to configs whose
+// Faults field is nil (experiment sweeps build their configs internally,
+// so the CLIs route their -faults flag through here). Atomic because
+// sweeps build systems from many goroutines.
+var faultDefault atomic.Pointer[fault.Schedule]
+
+// SetFaultDefault installs the process-wide fault schedule used by configs
+// that set neither Faults nor FaultRates; nil clears it.
+func SetFaultDefault(s *fault.Schedule) { faultDefault.Store(s) }
+
+// faultSchedule resolves the schedule for this config: explicit first,
+// then the process-wide default.
+func (c *Config) faultSchedule() *fault.Schedule {
+	if c.Faults != nil {
+		return c.Faults
+	}
+	return faultDefault.Load()
+}
+
 // Config describes one simulated system and run.
 type Config struct {
 	Arch     Arch
@@ -200,8 +220,23 @@ type Config struct {
 	// MetricsEpoch is the metrics sampling window (default 1 µs).
 	MetricsEpoch sim.Time
 	// DumpStateOnDeadlock appends a full network state dump to the error
-	// when a phase deadlocks (see noc.DumpState).
+	// when a phase deadlocks or livelocks (see noc.DumpState).
 	DumpStateOnDeadlock bool
+
+	// Faults is an explicit fault-injection schedule; nil falls back to
+	// the process-wide default (SetFaultDefault) and then to FaultRates.
+	// An empty schedule injects nothing and leaves the run byte-identical
+	// to a fault-free one.
+	Faults *fault.Schedule
+	// FaultRates, when active, generates a seeded schedule against the
+	// built system's shape (used when Faults is nil and no process-wide
+	// default is set).
+	FaultRates fault.Rates
+	// Watchdog is the phase forward-progress window: a phase whose
+	// activity counters stop advancing for this long while events keep
+	// firing is aborted as livelocked. Zero uses the default (5 ms);
+	// negative disables the check.
+	Watchdog sim.Time
 
 	// Custom, when non-nil, overrides Workload/Scale with a caller-built
 	// workload — e.g. a replayed kernel trace (workload.FromTrace).

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"memnet/internal/fault"
+	"memnet/internal/sim"
+)
+
+// sameResults compares the figures a run reports; the fault layer must not
+// perturb any of them when it injects nothing.
+func sameResults(a, b *Result) bool {
+	return a.Total == b.Total && a.Kernel == b.Kernel && a.H2D == b.H2D &&
+		a.Host == b.Host && a.D2H == b.D2H &&
+		a.AvgPktLatency == b.AvgPktLatency && a.P99PktLatency == b.P99PktLatency &&
+		a.NetEnergyJ == b.NetEnergyJ && a.L1HitRate == b.L1HitRate
+}
+
+// TestEmptyFaultScheduleMatchesPlainRun mirrors the obs/audit byte-identity
+// tests: an empty schedule arms no events, so the run is indistinguishable
+// from one with no fault layer at all.
+func TestEmptyFaultScheduleMatchesPlainRun(t *testing.T) {
+	for _, arch := range []Arch{PCIe, UMN} {
+		plain := mustRun(t, tiny(arch, "BP"))
+		cfg := tiny(arch, "BP")
+		cfg.Faults = &fault.Schedule{Seed: 99}
+		faulted := mustRun(t, cfg)
+		if !sameResults(plain, faulted) {
+			t.Fatalf("%v: empty fault schedule changed results: %+v vs %+v", arch, plain, faulted)
+		}
+	}
+}
+
+func TestTransientLinkErrorsRecover(t *testing.T) {
+	cfg := tiny(UMN, "BP")
+	cfg.Faults = &fault.Schedule{Events: []fault.Event{
+		{At: sim.Microsecond, Kind: fault.Transient, Channel: 0, Attempts: 3},
+		{At: 2 * sim.Microsecond, Kind: fault.Transient, Channel: 1, Attempts: 1},
+	}}
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Execute(); err != nil {
+		t.Fatalf("run with transient link errors failed: %v", err)
+	}
+	if s.net.LinkRetries() == 0 {
+		t.Fatal("no retransmissions recorded for corrupted flits")
+	}
+}
+
+func TestLinkFailuresRerouteAndComplete(t *testing.T) {
+	cfg := tiny(UMN, "BP")
+	cfg.Faults = &fault.Schedule{Seed: 11, Events: []fault.Event{
+		{At: sim.Microsecond, Kind: fault.LinkDown, Channel: -1},
+		{At: 2 * sim.Microsecond, Kind: fault.LinkDown, Channel: -1},
+	}}
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Execute()
+	if err != nil {
+		t.Fatalf("run with failed links did not complete: %v", err)
+	}
+	if got := len(s.net.FailedChannels()); got != 4 {
+		t.Fatalf("failed channels = %d, want 4 (two bidirectional pairs)", got)
+	}
+	if res.Total <= 0 {
+		t.Fatal("empty runtime")
+	}
+}
+
+// TestLinkExhaustionAbortsWithClearError keeps failing survivable links
+// until none is left; the run must abort with a clear error instead of
+// hanging on a partitioned network.
+func TestLinkExhaustionAbortsWithClearError(t *testing.T) {
+	cfg := tiny(UMN, "BP")
+	sched := &fault.Schedule{Seed: 3}
+	for i := 0; i < 500; i++ {
+		sched.Events = append(sched.Events, fault.Event{
+			At: sim.Time(i + 1), Kind: fault.LinkDown, Channel: -1})
+	}
+	cfg.Faults = sched
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Execute()
+	if err == nil {
+		t.Fatal("run survived failing every link")
+	}
+	if !strings.Contains(err.Error(), "no survivable link left") {
+		t.Fatalf("unhelpful exhaustion error: %v", err)
+	}
+}
+
+func TestGPUFailureRunCompletesAndConservesCTAs(t *testing.T) {
+	plain := mustRun(t, tiny(UMN, "VA"))
+	cfg := tiny(UMN, "VA")
+	cfg.SKE.WatchdogInterval = 2 * sim.Microsecond
+	cfg.Faults = &fault.Schedule{Events: []fault.Event{
+		{At: plain.Kernel / 2, Kind: fault.GPUDown, GPU: 1},
+	}}
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Execute()
+	if err != nil {
+		t.Fatalf("run with a dead GPU did not complete: %v", err)
+	}
+	if s.rt.Stats.GPUsFailed.Value() != 1 {
+		t.Fatalf("GPUsFailed = %d, want 1", s.rt.Stats.GPUsFailed.Value())
+	}
+	if s.rt.Stats.CTAsRequeued.Value() == 0 {
+		t.Fatal("no CTAs re-queued from the dead GPU")
+	}
+	var total int64
+	for _, n := range res.CTAsPerGPU {
+		total += n
+	}
+	want := int64(s.Workload().NumCTAs() * s.Workload().Iterations())
+	if total != want {
+		t.Fatalf("executed %d CTAs, want %d (conservation broken by requeue)", total, want)
+	}
+	if res.Total <= plain.Total {
+		t.Fatalf("losing a GPU sped the run up: %d <= %d", res.Total, plain.Total)
+	}
+}
+
+func TestVaultFailureReroutesRequests(t *testing.T) {
+	cfg := tiny(UMN, "BP")
+	cfg.Faults = &fault.Schedule{Events: []fault.Event{
+		{At: sim.Microsecond, Kind: fault.VaultDown, HMC: 0, Vault: 0},
+	}}
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Execute(); err != nil {
+		t.Fatalf("run with a dead vault did not complete: %v", err)
+	}
+	if !s.hmcs[0].VaultFailed(0) {
+		t.Fatal("vault not marked failed")
+	}
+	if s.hmcs[0].Stats.Rejected.Value() == 0 {
+		t.Fatal("dead vault rejected nothing; requests were not re-interleaved")
+	}
+}
+
+func TestPCIeTimeoutsRetryAndComplete(t *testing.T) {
+	probe, err := NewSystem(tiny(PCIeZC, "BP"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := &fault.Schedule{}
+	for p := 0; p < probe.fabric.NumEndpoints(); p++ {
+		sched.Events = append(sched.Events, fault.Event{
+			At: sim.Nanosecond, Kind: fault.PCIeTimeout, Port: p, Attempts: 2})
+	}
+	cfg := tiny(PCIeZC, "BP")
+	cfg.Faults = sched
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Execute(); err != nil {
+		t.Fatalf("run with PCIe timeouts did not complete: %v", err)
+	}
+	if s.fabric.Stats.Timeouts.Value() == 0 {
+		t.Fatal("no injected timeout was consumed")
+	}
+	if s.fabric.Stats.Retries.Value() != s.fabric.Stats.Timeouts.Value() {
+		t.Fatalf("retries %d != timeouts %d (round-trip audit should have caught this)",
+			s.fabric.Stats.Retries.Value(), s.fabric.Stats.Timeouts.Value())
+	}
+}
+
+func TestGeneratedFaultScheduleIsDeterministic(t *testing.T) {
+	mk := func() Config {
+		cfg := tiny(UMN, "BP")
+		cfg.FaultRates = fault.Rates{Seed: 5, Horizon: 20 * sim.Microsecond,
+			Transients: 3, FailLinks: 1}
+		return cfg
+	}
+	a := mustRun(t, mk())
+	b := mustRun(t, mk())
+	if !sameResults(a, b) {
+		t.Fatalf("identical fault rates diverged: %+v vs %+v", a, b)
+	}
+}
+
+// TestLivelockDistinguishedFromDeadlock arms a self-rescheduling no-op
+// event chain so the engine never drains, then shrinks the watchdog below
+// the first phase's progress silence: the phase runner must call this a
+// livelock (events firing, no progress) and carry the last-progress time.
+func TestLivelockDistinguishedFromDeadlock(t *testing.T) {
+	cfg := tiny(PCIe, "VA")
+	cfg.Watchdog = 100 * sim.Nanosecond
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var churn func()
+	churn = func() { s.eng.After(sim.Nanosecond, churn) }
+	s.eng.After(sim.Nanosecond, churn)
+	_, err = s.Execute()
+	if err == nil {
+		t.Fatal("churning run did not abort")
+	}
+	if !strings.Contains(err.Error(), "livelocked") {
+		t.Fatalf("want livelock diagnosis, got: %v", err)
+	}
+	if !strings.Contains(err.Error(), "no forward progress since") {
+		t.Fatalf("livelock error carries no last-progress timestamp: %v", err)
+	}
+}
+
+// TestDeadlockErrorCarriesLastProgress drives a phase that schedules
+// nothing: the engine drains with the completion callback never firing, and
+// the error must say deadlock (not livelock) with the last-progress time.
+func TestDeadlockErrorCarriesLastProgress(t *testing.T) {
+	s, err := NewSystem(tiny(PCIe, "VA"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.runPhase("stuck", func(done func()) {})
+	if err == nil {
+		t.Fatal("eventless phase did not error")
+	}
+	if !strings.Contains(err.Error(), "deadlocked") || strings.Contains(err.Error(), "livelocked") {
+		t.Fatalf("want deadlock diagnosis, got: %v", err)
+	}
+	if !strings.Contains(err.Error(), "last progress at") {
+		t.Fatalf("deadlock error carries no last-progress timestamp: %v", err)
+	}
+}

@@ -169,23 +169,63 @@ func (s *System) checkAudits(where string) error {
 }
 
 // runPhase starts a phase and drives the engine until its completion
-// callback fires, returning the elapsed simulated time.
+// callback fires, returning the elapsed simulated time. A forward-progress
+// watchdog distinguishes the two failure modes: deadlock (the engine runs
+// out of events before the callback fires) and livelock (events keep
+// firing but the system's activity counters stop advancing for a full
+// watchdog window).
 func (s *System) runPhase(name string, start func(done func())) (sim.Time, error) {
 	t0 := s.eng.Now()
 	finished := false
 	start(func() { finished = true })
-	if s.samp != nil {
-		// The sampler closes metrics windows between events; it schedules
-		// nothing itself, so the event sequence matches the plain loop.
-		s.eng.RunWhile(func() bool {
+	wd := s.cfg.Watchdog
+	if wd == 0 {
+		wd = 5 * sim.Millisecond
+	}
+	lastProg := int64(-1)
+	lastProgAt := t0
+	livelocked := false
+	// The condition runs between events; the sampler schedules nothing and
+	// the watchdog only reads counters, so the event sequence matches the
+	// plain loop exactly. Time advances only inside steps, so a single
+	// long event gap (e.g. an analytic bulk memcpy) can never trip the
+	// watchdog — only real event churn without progress can.
+	s.eng.RunWhile(func() bool {
+		if s.samp != nil {
 			s.samp.Advance(s.eng.Now())
-			return !finished
-		})
-	} else {
-		s.eng.RunWhile(func() bool { return !finished })
+		}
+		if finished {
+			return false
+		}
+		if s.fatal == nil {
+			s.fatal = s.rt.Err()
+		}
+		if s.fatal != nil {
+			return false
+		}
+		if wd > 0 {
+			if p := s.progress(); p != lastProg {
+				lastProg = p
+				lastProgAt = s.eng.Now()
+			} else if s.eng.Now()-lastProgAt > wd {
+				livelocked = true
+				return false
+			}
+		}
+		return true
+	})
+	if s.fatal != nil {
+		return 0, fmt.Errorf("core: phase %q aborted at t=%d ps: %w", name, s.eng.Now(), s.fatal)
 	}
 	if !finished {
-		err := fmt.Errorf("core: phase %q deadlocked at t=%d ps (no events left)", name, s.eng.Now())
+		var err error
+		if livelocked {
+			err = fmt.Errorf("core: phase %q livelocked: events still firing at t=%d ps but no forward progress since t=%d ps",
+				name, s.eng.Now(), lastProgAt)
+		} else {
+			err = fmt.Errorf("core: phase %q deadlocked at t=%d ps (no events left; last progress at t=%d ps)",
+				name, s.eng.Now(), lastProgAt)
+		}
 		if s.cfg.DumpStateOnDeadlock {
 			var dump bytes.Buffer
 			s.net.DumpState(&dump)

@@ -58,6 +58,10 @@ type System struct {
 	samp      *obs.Sampler
 	hostTrack obs.Track
 
+	// fatal records the first unrecoverable fault-injection outcome (work
+	// lost with nowhere to re-queue it); the phase runner aborts on it.
+	fatal error
+
 	gpuLineFlits int // 128 B / 16 B
 	cpuLineFlits int // 64 B / 16 B
 }
@@ -187,6 +191,9 @@ func NewSystem(cfg Config) (*System, error) {
 		s.samp = obs.NewSampler(s.cfg.MetricsEpoch)
 		s.attachObs()
 	}
+	if err := s.scheduleFaults(); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -210,6 +217,7 @@ func (s *System) attachObs() {
 		s.fabric.RegisterObs(s.samp)
 	}
 	s.net.RegisterObs(s.samp)
+	s.net.AttachTracer(s.tr)
 	// Last, so the bridge track sorts after the component tracks: mirror
 	// every metrics window onto the trace as counter series.
 	s.samp.AttachTracer(s.tr)
@@ -403,7 +411,7 @@ func (s *System) routerSink(r int, pkt *noc.Packet) {
 	if !ok {
 		panic("core: router received packet without a memory transaction")
 	}
-	s.hmcs[r].Submit(&hmc.Request{
+	req := &hmc.Request{
 		Loc:    t.loc,
 		Write:  t.write,
 		Atomic: t.atomic,
@@ -413,7 +421,20 @@ func (s *System) routerSink(r int, pkt *noc.Packet) {
 			resp.Payload = t
 			s.net.Send(resp)
 		},
-	})
+	}
+	if s.hmcs[r].Submit(req) {
+		return
+	}
+	// The target vault failed: retry through the cube's other vaults (the
+	// alternate interleave) so the line stays serviceable.
+	orig := req.Loc.Vault
+	for i := 1; i < s.cfg.HMC.Vaults; i++ {
+		req.Loc.Vault = (orig + i) % s.cfg.HMC.Vaults
+		if s.hmcs[r].Submit(req) {
+			return
+		}
+	}
+	s.fail(fmt.Errorf("core: hmc%d has no live vault left for vault-%d request", r, orig))
 }
 
 // deliver handles packets arriving at cluster c's terminal.

@@ -781,6 +781,84 @@ func TableII() string {
 	return b.String()
 }
 
+// ------------------------------------------- extension: fault degradation
+
+// degProbeLoad is the offered load of the degradation sweep, in request
+// flits per terminal per cycle. At 1.0 every terminal injects each cycle —
+// past every topology's saturation point, so accepted throughput measures
+// surviving capacity.
+const degProbeLoad = 1.0
+
+// DegRow is one measurement of the link-failure degradation sweep.
+type DegRow struct {
+	Topo        string
+	FailedLinks int     // survivable link pairs failed before traffic
+	Throughput  float64 // delivered response flits/terminal/cycle at the probe load
+	AvgLatency  float64 // mean round-trip latency, network cycles
+}
+
+// Degradation is an extension experiment beyond the paper: it measures how
+// each topology's saturation throughput degrades as link pairs fail. For
+// every topology it fails k = 0..maxFailed survivable channel pairs (same
+// seed, so the failure sets are nested) and drives synthetic traffic past
+// saturation. The star carries only cluster-local traffic (remote accesses
+// use PCIe there); the FBFLY networks carry uniform-random traffic and
+// route around the dead links via their path diversity.
+func Degradation(maxFailed int) ([]DegRow, error) {
+	if maxFailed <= 0 {
+		maxFailed = 4
+	}
+	topos := []struct {
+		name    string
+		kind    noc.TopoKind
+		pattern noc.TrafficPattern
+	}{
+		{"PCIe(star)", noc.TopoStar, noc.LocalUniform},
+		{"sFBFLY", noc.TopoSFBFLY, noc.UniformRandom},
+		{"dFBFLY", noc.TopoDFBFLY, noc.UniformRandom},
+	}
+	type job struct {
+		topo, k int
+	}
+	var jobs []job
+	for t := range topos {
+		for k := 0; k <= maxFailed; k++ {
+			jobs = append(jobs, job{t, k})
+		}
+	}
+	points, err := par.Map(context.Background(), 0, len(jobs),
+		func(_ context.Context, i int) (noc.LoadPoint, error) {
+			tp := topos[jobs[i].topo]
+			spec := noc.TopoSpec{Kind: tp.kind, Clusters: 4,
+				LocalPerCluster: 4, TermChannels: 8, CPUCluster: -1}
+			syn := noc.DefaultSyntheticConfig()
+			syn.Pattern = tp.pattern
+			syn.FailLinks = jobs[i].k
+			syn.FailSeed = 42
+			return noc.RunSynthetic(spec, noc.DefaultConfig(), syn, degProbeLoad)
+		})
+	if err != nil {
+		return nil, err
+	}
+	var out []DegRow
+	for i, j := range jobs {
+		out = append(out, DegRow{Topo: topos[j.topo].name, FailedLinks: j.k,
+			Throughput: points[i].RTThroughput, AvgLatency: points[i].AvgLatency})
+	}
+	return out, nil
+}
+
+// DegradationString renders the degradation table.
+func DegradationString(rows []DegRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Degradation — saturation throughput vs failed link pairs (offered %.2f flits/term/cycle)\n", degProbeLoad)
+	fmt.Fprintf(&b, "%-12s %8s %12s %14s\n", "topo", "failed", "throughput", "latency(cyc)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %8d %12.3f %14.1f\n", r.Topo, r.FailedLinks, r.Throughput, r.AvgLatency)
+	}
+	return b.String()
+}
+
 // ------------------------------------------------- extension: placement
 
 // PlacementRow compares page-placement policies for one workload.

@@ -1,0 +1,270 @@
+// Package fault provides deterministic, seeded fault injection for the
+// simulated multi-GPU system. A Schedule is a list of fault events pinned
+// to simulated timestamps; it is either constructed explicitly, generated
+// from a seed + rate configuration against the built system's shape, or
+// loaded from JSON. The schedule itself is pure data — the core package
+// applies it by scheduling one engine event per entry, so an empty
+// schedule injects nothing and leaves the simulation byte-identical to a
+// run without fault injection.
+//
+// Three fault classes are modeled (plus a PCIe variant):
+//
+//   - transient link errors: a NoC channel corrupts the next flit(s) in
+//     flight; the link-level retransmission protocol replays them
+//     (internal/noc).
+//   - permanent link failures: a bidirectional channel pair dies; routing
+//     recomputes around it using the topology's path diversity
+//     (internal/noc/routing.go), or the run aborts with a clear partition
+//     error.
+//   - GPU / HMC-vault failures: a GPU stops making progress and the SKE
+//     watchdog re-queues its CTAs on survivors (internal/ske); a failed
+//     vault drains and rejects new requests so callers retry through an
+//     alternate interleave (internal/hmc, internal/core).
+//   - PCIe transfer timeouts: an endpoint's next transfers time out and
+//     are retried with bounded exponential backoff (internal/pcie).
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+
+	"memnet/internal/sim"
+)
+
+// Kind names a fault class.
+type Kind string
+
+// Fault kinds.
+const (
+	// Transient corrupts the next Attempts flits arriving on Channel; each
+	// is NAKed and retransmitted by the link protocol.
+	Transient Kind = "transient-link"
+	// LinkDown permanently fails the bidirectional channel pair containing
+	// Channel. Channel == -1 selects a survivable channel automatically
+	// (one whose loss does not partition the network).
+	LinkDown Kind = "link-down"
+	// GPUDown fail-stops GPU (it issues no further work); the SKE progress
+	// watchdog detects it and re-queues its CTAs.
+	GPUDown Kind = "gpu-down"
+	// VaultDown fail-stops Vault of HMC: in-service requests drain, new
+	// submissions are rejected.
+	VaultDown Kind = "vault-down"
+	// PCIeTimeout makes the next Attempts transfers from PCIe endpoint
+	// Port time out and enter the retry path.
+	PCIeTimeout Kind = "pcie-timeout"
+)
+
+// Event is one injected fault at a simulated timestamp.
+type Event struct {
+	At   sim.Time `json:"at_ps"`
+	Kind Kind     `json:"kind"`
+
+	Channel  int `json:"channel,omitempty"`  // Transient, LinkDown (-1 = auto)
+	Attempts int `json:"attempts,omitempty"` // Transient / PCIeTimeout burst length
+	GPU      int `json:"gpu,omitempty"`      // GPUDown
+	HMC      int `json:"hmc,omitempty"`      // VaultDown
+	Vault    int `json:"vault,omitempty"`    // VaultDown
+	Port     int `json:"port,omitempty"`     // PCIeTimeout
+}
+
+// Schedule is an ordered fault-event list. The zero value (and nil) is the
+// empty schedule: no faults.
+type Schedule struct {
+	// Seed feeds deterministic choices made while applying the schedule
+	// (e.g. which survivable channel an auto LinkDown picks).
+	Seed   int64   `json:"seed,omitempty"`
+	Events []Event `json:"events"`
+}
+
+// Empty reports whether the schedule injects nothing.
+func (s *Schedule) Empty() bool { return s == nil || len(s.Events) == 0 }
+
+// HasKind reports whether any event has kind k.
+func (s *Schedule) HasKind(k Kind) bool {
+	if s == nil {
+		return false
+	}
+	for _, ev := range s.Events {
+		if ev.Kind == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Sort orders events by timestamp, keeping the original order of
+// same-timestamp events (application order stays deterministic).
+func (s *Schedule) Sort() {
+	if s == nil {
+		return
+	}
+	sort.SliceStable(s.Events, func(i, j int) bool {
+		return s.Events[i].At < s.Events[j].At
+	})
+}
+
+// Shape describes the built system a schedule is applied to, for
+// generation and validation.
+type Shape struct {
+	Channels  int // NoC channel count
+	GPUs      int // executing GPUs
+	HMCs      int // HMC device count
+	Vaults    int // vaults per HMC
+	PCIePorts int // PCIe endpoints (0 = no fabric)
+}
+
+// Validate checks every event against the system shape: unknown kinds,
+// negative timestamps and out-of-range component indices are errors. A
+// nil schedule is valid.
+func (s *Schedule) Validate(sh Shape) error {
+	if s == nil {
+		return nil
+	}
+	for i, ev := range s.Events {
+		if ev.At < 0 {
+			return fmt.Errorf("fault: event %d at negative time %d ps", i, ev.At)
+		}
+		switch ev.Kind {
+		case Transient:
+			if ev.Channel < 0 || ev.Channel >= sh.Channels {
+				return fmt.Errorf("fault: event %d channel %d outside [0,%d)", i, ev.Channel, sh.Channels)
+			}
+			if ev.Attempts <= 0 {
+				return fmt.Errorf("fault: event %d needs attempts > 0", i)
+			}
+		case LinkDown:
+			if ev.Channel < -1 || ev.Channel >= sh.Channels {
+				return fmt.Errorf("fault: event %d channel %d outside [-1,%d)", i, ev.Channel, sh.Channels)
+			}
+		case GPUDown:
+			if ev.GPU < 0 || ev.GPU >= sh.GPUs {
+				return fmt.Errorf("fault: event %d gpu %d outside [0,%d)", i, ev.GPU, sh.GPUs)
+			}
+		case VaultDown:
+			if ev.HMC < 0 || ev.HMC >= sh.HMCs {
+				return fmt.Errorf("fault: event %d hmc %d outside [0,%d)", i, ev.HMC, sh.HMCs)
+			}
+			if ev.Vault < 0 || ev.Vault >= sh.Vaults {
+				return fmt.Errorf("fault: event %d vault %d outside [0,%d)", i, ev.Vault, sh.Vaults)
+			}
+		case PCIeTimeout:
+			if sh.PCIePorts == 0 {
+				return fmt.Errorf("fault: event %d targets PCIe but the system has no fabric", i)
+			}
+			if ev.Port < 0 || ev.Port >= sh.PCIePorts {
+				return fmt.Errorf("fault: event %d port %d outside [0,%d)", i, ev.Port, sh.PCIePorts)
+			}
+			if ev.Attempts <= 0 {
+				return fmt.Errorf("fault: event %d needs attempts > 0", i)
+			}
+		default:
+			return fmt.Errorf("fault: event %d has unknown kind %q", i, ev.Kind)
+		}
+	}
+	return nil
+}
+
+// Load reads a JSON schedule.
+func Load(r io.Reader) (*Schedule, error) {
+	var s Schedule
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("fault: decode schedule: %w", err)
+	}
+	s.Sort()
+	return &s, nil
+}
+
+// LoadFile reads a JSON schedule from path.
+func LoadFile(path string) (*Schedule, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// Write emits the schedule as indented JSON.
+func (s *Schedule) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Rates configures schedule generation: how many faults of each class to
+// inject over the horizon. The zero value generates nothing.
+type Rates struct {
+	Seed    int64
+	Horizon sim.Time // timestamps drawn uniformly from (0, Horizon]; default 1 ms
+
+	Transients   int // transient link-error bursts
+	MaxBurst     int // max corrupted flits per transient/PCIe burst (default 2)
+	FailLinks    int // permanent link failures (auto-picked survivable channels)
+	FailGPUs     int // GPU fail-stops
+	FailVaults   int // HMC vault fail-stops
+	PCIeTimeouts int // PCIe transfer-timeout bursts
+}
+
+// Active reports whether the rates generate at least one event.
+func (r Rates) Active() bool {
+	return r.Transients > 0 || r.FailLinks > 0 || r.FailGPUs > 0 ||
+		r.FailVaults > 0 || r.PCIeTimeouts > 0
+}
+
+// Generate draws a schedule from the rates against a system shape. The
+// same (rates, shape) pair always yields the same schedule. Classes whose
+// target component does not exist in the shape are skipped (e.g. PCIe
+// timeouts on a system without a fabric).
+func Generate(r Rates, sh Shape) *Schedule {
+	rng := rand.New(rand.NewSource(r.Seed))
+	horizon := r.Horizon
+	if horizon <= 0 {
+		horizon = sim.Millisecond
+	}
+	burst := r.MaxBurst
+	if burst <= 0 {
+		burst = 2
+	}
+	at := func() sim.Time { return sim.Time(1 + rng.Int63n(int64(horizon))) }
+	s := &Schedule{Seed: r.Seed}
+	if sh.Channels > 0 {
+		for i := 0; i < r.Transients; i++ {
+			s.Events = append(s.Events, Event{At: at(), Kind: Transient,
+				Channel: rng.Intn(sh.Channels), Attempts: 1 + rng.Intn(burst)})
+		}
+		for i := 0; i < r.FailLinks; i++ {
+			s.Events = append(s.Events, Event{At: at(), Kind: LinkDown, Channel: -1})
+		}
+	}
+	if sh.GPUs > 0 && r.FailGPUs > 0 {
+		// Distinct victims: killing the same GPU twice is a no-op.
+		perm := rng.Perm(sh.GPUs)
+		n := r.FailGPUs
+		if n > sh.GPUs {
+			n = sh.GPUs
+		}
+		for i := 0; i < n; i++ {
+			s.Events = append(s.Events, Event{At: at(), Kind: GPUDown, GPU: perm[i]})
+		}
+	}
+	if sh.HMCs > 0 && sh.Vaults > 0 {
+		for i := 0; i < r.FailVaults; i++ {
+			s.Events = append(s.Events, Event{At: at(), Kind: VaultDown,
+				HMC: rng.Intn(sh.HMCs), Vault: rng.Intn(sh.Vaults)})
+		}
+	}
+	if sh.PCIePorts > 0 {
+		for i := 0; i < r.PCIeTimeouts; i++ {
+			s.Events = append(s.Events, Event{At: at(), Kind: PCIeTimeout,
+				Port: rng.Intn(sh.PCIePorts), Attempts: 1 + rng.Intn(burst)})
+		}
+	}
+	s.Sort()
+	return s
+}

@@ -1,0 +1,143 @@
+package fault
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"memnet/internal/sim"
+)
+
+func testShape() Shape {
+	return Shape{Channels: 40, GPUs: 4, HMCs: 16, Vaults: 16, PCIePorts: 5}
+}
+
+func TestEmpty(t *testing.T) {
+	var nilSched *Schedule
+	if !nilSched.Empty() {
+		t.Error("nil schedule not empty")
+	}
+	if !(&Schedule{}).Empty() {
+		t.Error("zero schedule not empty")
+	}
+	if (&Schedule{Events: []Event{{Kind: GPUDown}}}).Empty() {
+		t.Error("non-zero schedule reported empty")
+	}
+	if nilSched.HasKind(GPUDown) {
+		t.Error("nil schedule has a kind")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	r := Rates{Seed: 42, Transients: 5, FailLinks: 3, FailGPUs: 2, FailVaults: 2, PCIeTimeouts: 2}
+	a := Generate(r, testShape())
+	b := Generate(r, testShape())
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed differs:\n%+v\n%+v", a, b)
+	}
+	c := Generate(Rates{Seed: 43, Transients: 5, FailLinks: 3, FailGPUs: 2, FailVaults: 2, PCIeTimeouts: 2}, testShape())
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	if got := len(a.Events); got != 14 {
+		t.Fatalf("generated %d events, want 14", got)
+	}
+	if err := a.Validate(testShape()); err != nil {
+		t.Fatalf("generated schedule invalid: %v", err)
+	}
+	for i := 1; i < len(a.Events); i++ {
+		if a.Events[i].At < a.Events[i-1].At {
+			t.Fatalf("events not sorted: %d ps after %d ps", a.Events[i].At, a.Events[i-1].At)
+		}
+	}
+}
+
+func TestGenerateSkipsMissingComponents(t *testing.T) {
+	r := Rates{Seed: 1, Transients: 3, FailLinks: 2, PCIeTimeouts: 4, FailGPUs: 9}
+	s := Generate(r, Shape{GPUs: 4}) // no channels, no fabric
+	for _, ev := range s.Events {
+		if ev.Kind != GPUDown {
+			t.Fatalf("generated %q event for a missing component", ev.Kind)
+		}
+	}
+	// FailGPUs is clamped to distinct victims.
+	if len(s.Events) != 4 {
+		t.Fatalf("got %d gpu-down events, want 4", len(s.Events))
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := Generate(Rates{Seed: 7, Transients: 2, FailLinks: 1, FailVaults: 1}, testShape())
+	var buf bytes.Buffer
+	if err := s.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Fatalf("round trip mismatch:\nwrote %+v\nread  %+v", s, got)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewBufferString(`{"events": [{"bogus": 1}]}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := Load(bytes.NewBufferString(`not json`)); err == nil {
+		t.Error("non-JSON accepted")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	sh := testShape()
+	bad := []Schedule{
+		{Events: []Event{{At: -1, Kind: GPUDown}}},
+		{Events: []Event{{Kind: "no-such-kind"}}},
+		{Events: []Event{{Kind: Transient, Channel: sh.Channels, Attempts: 1}}},
+		{Events: []Event{{Kind: Transient, Channel: 0}}}, // attempts == 0
+		{Events: []Event{{Kind: LinkDown, Channel: -2}}},
+		{Events: []Event{{Kind: GPUDown, GPU: sh.GPUs}}},
+		{Events: []Event{{Kind: VaultDown, HMC: sh.HMCs}}},
+		{Events: []Event{{Kind: VaultDown, Vault: sh.Vaults}}},
+		{Events: []Event{{Kind: PCIeTimeout, Port: sh.PCIePorts, Attempts: 1}}},
+	}
+	for i, s := range bad {
+		s := s
+		if err := s.Validate(sh); err == nil {
+			t.Errorf("bad schedule %d accepted", i)
+		}
+	}
+	ok := Schedule{Events: []Event{
+		{At: 5, Kind: Transient, Channel: 0, Attempts: 1},
+		{At: 5, Kind: LinkDown, Channel: -1},
+		{At: 5, Kind: VaultDown, HMC: 1, Vault: 2},
+	}}
+	if err := ok.Validate(sh); err != nil {
+		t.Errorf("good schedule rejected: %v", err)
+	}
+	// PCIe events on a fabric-less system are invalid.
+	p := Schedule{Events: []Event{{Kind: PCIeTimeout, Port: 0, Attempts: 1}}}
+	if err := p.Validate(Shape{Channels: 4}); err == nil {
+		t.Error("PCIe event accepted without a fabric")
+	}
+}
+
+func TestSortStable(t *testing.T) {
+	s := &Schedule{Events: []Event{
+		{At: 10, Kind: GPUDown, GPU: 0},
+		{At: 5, Kind: GPUDown, GPU: 1},
+		{At: 10, Kind: GPUDown, GPU: 2},
+	}}
+	s.Sort()
+	want := []int{1, 0, 2}
+	for i, ev := range s.Events {
+		if ev.GPU != want[i] {
+			t.Fatalf("sort order wrong at %d: got gpu %d want %d", i, ev.GPU, want[i])
+		}
+	}
+	if s.Events[0].At != 5*sim.Picosecond {
+		t.Fatal("earliest event not first")
+	}
+}

@@ -149,6 +149,7 @@ type launchCtx struct {
 	kernel       Kernel
 	pending      []int
 	activeCTAs   int
+	activeIDs    []int // CTA indices currently resident on SMs
 	memInFlight  int64
 	childrenLive int
 	onDone       func()
@@ -173,6 +174,10 @@ type GPU struct {
 
 	ctxs []*launchCtx
 	next int // round-robin context pointer for SM filling
+
+	// failed marks a fail-stop device: no new CTAs start, resident warps
+	// halt at their next event, and in-flight memory traffic drains.
+	failed bool
 
 	// accepted counts CTAs this GPU is responsible for executing: added by
 	// Launch/AddCTAs, removed by StealCTAs. The audit checks it against
@@ -334,6 +339,9 @@ func (g *GPU) nextPending() *launchCtx {
 }
 
 func (g *GPU) fillSMs() {
+	if g.failed {
+		return
+	}
 	for {
 		progressed := false
 		for _, s := range g.sms {
@@ -371,12 +379,66 @@ func (g *GPU) reapContexts() {
 	}
 }
 
-func (g *GPU) ctaFinished(s *sm, ctx *launchCtx) {
+func (g *GPU) ctaFinished(s *sm, cta *ctaState) {
+	ctx := cta.ctx
+	for i, id := range ctx.activeIDs {
+		if id == cta.id {
+			ctx.activeIDs[i] = ctx.activeIDs[len(ctx.activeIDs)-1]
+			ctx.activeIDs = ctx.activeIDs[:len(ctx.activeIDs)-1]
+			break
+		}
+	}
 	ctx.activeCTAs--
 	g.Stats.CTAs.Inc()
 	g.traceOccupancy()
 	g.fillSMs()
 	g.maybeDone(ctx)
+}
+
+// Chunk is a unit of unfinished work reclaimed from a failed GPU: the
+// kernel and the CTA indices that never completed on it.
+type Chunk struct {
+	Kernel Kernel
+	CTAs   []int
+}
+
+// Kill marks the device failed (fail-stop). Resident warps halt at their
+// next scheduled event, no new CTAs start, and outstanding memory traffic
+// drains without further issue. The unfinished CTAs stay accounted to this
+// GPU until Reap collects them.
+func (g *GPU) Kill() { g.failed = true }
+
+// Failed reports whether the device has been killed.
+func (g *GPU) Failed() bool { return g.failed }
+
+// Reap collects every unfinished CTA (queued or resident) from a killed
+// GPU, removes them from this device's accepted ledger, and cancels the
+// per-launch completion callbacks. The caller re-queues the returned
+// chunks on surviving devices; CTA-conservation audits stay balanced
+// because the accepted count drops by exactly the CTAs handed back.
+func (g *GPU) Reap() []Chunk {
+	var out []Chunk
+	for _, c := range g.ctxs {
+		ctas := append(append([]int(nil), c.pending...), c.activeIDs...)
+		if len(ctas) > 0 {
+			out = append(out, Chunk{Kernel: c.kernel, CTAs: ctas})
+		}
+		g.accepted -= int64(len(ctas))
+		c.pending = nil
+		c.activeCTAs = 0
+		c.activeIDs = nil
+		c.onDone = nil
+	}
+	g.traceOccupancy()
+	return out
+}
+
+// Progress returns a monotone activity counter (instructions retired, CTAs
+// completed, memory operations issued) used by watchdogs to detect a hung
+// or dead device: a busy GPU whose Progress has not advanced is stuck.
+func (g *GPU) Progress() int64 {
+	return g.Stats.WarpInstrs.Value() + g.Stats.CTAs.Value() +
+		g.Stats.Loads.Value() + g.Stats.Stores.Value() + g.Stats.Atomics.Value()
 }
 
 // AttachTracer creates this GPU's trace track, carrying the active-CTA
@@ -412,6 +474,9 @@ func (g *GPU) maybeDone(ctx *launchCtx) {
 // spawnChild performs a device-side launch of a child grid on this GPU,
 // tying the parent context's completion to the child's.
 func (g *GPU) spawnChild(parent *launchCtx, sp *Spawn) {
+	if g.failed {
+		return
+	}
 	parent.childrenLive++
 	g.Launch(sp.Kernel, sp.CTAs, func() {
 		parent.childrenLive--

@@ -60,6 +60,7 @@ func (s *sm) startCTA(ctx *launchCtx, id int) {
 		threads = 1
 	}
 	cta := &ctaState{id: id, ctx: ctx, threads: threads, warpsLeft: warps}
+	ctx.activeIDs = append(ctx.activeIDs, id)
 	s.residentCTAs++
 	s.residentThreads += threads
 	ctx.activeCTAs++
@@ -72,6 +73,9 @@ func (s *sm) startCTA(ctx *launchCtx, id int) {
 
 // step fetches and issues the warp's next instruction.
 func (w *warpState) step() {
+	if w.sm.g.failed {
+		return
+	}
 	op, ok := w.trace.Next()
 	if !ok {
 		w.finish()
@@ -108,6 +112,9 @@ func (w *warpState) step() {
 func (w *warpState) issueMem(op WarpOp) {
 	s := w.sm
 	g := s.g
+	if g.failed {
+		return
+	}
 	if s.outstanding+len(op.Addrs) > g.cfg.MaxOutstanding {
 		g.eng.After(g.coreClk.Cycles(int64(g.cfg.RetryCycles)), func() { w.issueMem(op) })
 		return
@@ -208,5 +215,5 @@ func (w *warpState) finish() {
 	s := w.sm
 	s.residentCTAs--
 	s.residentThreads -= w.cta.threads
-	s.g.ctaFinished(s, w.cta.ctx)
+	s.g.ctaFinished(s, w.cta)
 }

@@ -90,6 +90,10 @@ type Stats struct {
 	RowHits   stats.Counter
 	RowMisses stats.Counter
 	Refreshes stats.Counter
+	// Rejected counts submissions refused by failed vaults (the caller
+	// retries through an alternate interleave); rejected requests are not
+	// counted as submitted.
+	Rejected  stats.Counter
 	QueueWait stats.Mean // ps spent queued before issue
 	Service   stats.Mean // ps from arrival to completion
 }
@@ -123,14 +127,21 @@ func New(eng *sim.Engine, cfg Config) (*HMC, error) {
 // Config returns the device configuration.
 func (h *HMC) Config() Config { return h.cfg }
 
-// Submit enqueues a request for service. The request's Loc.Vault selects
-// the vault; its Done callback fires at completion time.
-func (h *HMC) Submit(req *Request) {
+// Submit enqueues a request for service and reports whether the target
+// vault accepted it. The request's Loc.Vault selects the vault; its Done
+// callback fires at completion time. A failed vault rejects the request
+// (returning false, with no side effects beyond the rejection counter) so
+// the caller can retry through an alternate interleave.
+func (h *HMC) Submit(req *Request) bool {
 	if req.Loc.Vault < 0 || req.Loc.Vault >= h.cfg.Vaults {
 		panic(fmt.Sprintf("hmc: vault %d out of range", req.Loc.Vault))
 	}
 	if req.Loc.Bank < 0 || req.Loc.Bank >= h.cfg.BanksPerVault {
 		panic(fmt.Sprintf("hmc: bank %d out of range", req.Loc.Bank))
+	}
+	if h.vaults[req.Loc.Vault].failed {
+		h.Stats.Rejected.Inc()
+		return false
 	}
 	h.seq++
 	req.seq = h.seq
@@ -143,7 +154,31 @@ func (h *HMC) Submit(req *Request) {
 		h.Stats.Reads.Inc()
 	}
 	h.vaults[req.Loc.Vault].push(req)
+	return true
 }
+
+// FailVault marks vault v failed (fail-stop): requests already queued or
+// in service drain normally, but new submissions are rejected. Idempotent;
+// out-of-range indices are ignored.
+func (h *HMC) FailVault(v int) {
+	if v < 0 || v >= h.cfg.Vaults || h.vaults[v].failed {
+		return
+	}
+	h.vaults[v].failed = true
+	vt := h.vaults[v]
+	if vt.trace.Enabled() {
+		vt.trace.Instant("vault failed", h.eng.Now())
+	}
+}
+
+// VaultFailed reports whether vault v has been failed.
+func (h *HMC) VaultFailed(v int) bool {
+	return v >= 0 && v < h.cfg.Vaults && h.vaults[v].failed
+}
+
+// Completed returns how many requests have finished service — a monotone
+// progress signal for system-level watchdogs.
+func (h *HMC) Completed() int64 { return h.completed }
 
 // QueuedRequests returns the total requests waiting or in service.
 func (h *HMC) QueuedRequests() int {
@@ -223,6 +258,8 @@ type vault struct {
 	// refresh is disabled).
 	nextRefresh sim.Time
 	scheduled   bool
+	// failed rejects new submissions while queued work drains (fail-stop).
+	failed bool
 	// inService counts requests popped from the queue whose completion
 	// event has not fired yet.
 	inService int

@@ -275,3 +275,37 @@ func TestRequestConservationAudit(t *testing.T) {
 		t.Fatalf("violation lacks vault/bank coordinates: %v", reg.Violations())
 	}
 }
+
+func TestFailedVaultDrainsAndRejects(t *testing.T) {
+	eng, h := newHMC(t, nil)
+	reg := audit.New(func() int64 { return int64(eng.Now()) })
+	h.RegisterAudits(reg, "hmc0")
+	completed := 0
+	if !h.Submit(&Request{Loc: mem.Loc{Vault: 2, Bank: 0, Row: 1},
+		Done: func(*Request) { completed++ }}) {
+		t.Fatal("healthy vault rejected a request")
+	}
+	h.FailVault(2)
+	if !h.VaultFailed(2) || h.VaultFailed(3) {
+		t.Fatal("vault fail-stop flags wrong")
+	}
+	if h.Submit(&Request{Loc: mem.Loc{Vault: 2, Bank: 1, Row: 1}}) {
+		t.Fatal("failed vault accepted a new request")
+	}
+	if !h.Submit(&Request{Loc: mem.Loc{Vault: 3, Bank: 0, Row: 1},
+		Done: func(*Request) { completed++ }}) {
+		t.Fatal("healthy vault rejected a request after another vault failed")
+	}
+	h.FailVault(2) // idempotent
+	eng.Run()
+	// The in-service request drains; the rejected one never completes.
+	if completed != 2 {
+		t.Fatalf("completed = %d, want 2 (in-flight drained + healthy vault)", completed)
+	}
+	if h.Stats.Rejected.Value() != 1 {
+		t.Fatalf("rejected = %d, want 1", h.Stats.Rejected.Value())
+	}
+	if reg.Check() != 0 {
+		t.Fatalf("audit violations after vault failure: %v", reg.Violations())
+	}
+}

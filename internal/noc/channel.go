@@ -11,6 +11,9 @@ type channelItem struct {
 	f      flit
 	vc     int
 	arrive int64
+	// attempts counts link-level retransmissions of this flit (CRC/NAK
+	// replays under injected transient errors).
+	attempts int
 }
 
 type creditItem struct {
@@ -53,6 +56,21 @@ type Channel struct {
 	expressing int
 	// holdQ holds express flits that found the next channel occupied.
 	holdQ []channelItem
+
+	// Fault state. partner is the index of the opposite direction of this
+	// channel's bidirectional pair (-1 before wiring); link failures always
+	// take out both directions. failed channels are excluded from route
+	// computation — traffic already committed to them drains normally.
+	partner int
+	failed  bool
+	// pendingCorrupt is the number of upcoming flit arrivals the link's CRC
+	// will reject (injected transient errors); each rejected flit is NAKed
+	// and replayed by the sender after a full round trip.
+	pendingCorrupt int
+	// retries counts replayed flits; retryExhausted counts flits forced
+	// through after exhausting the per-flit retry budget.
+	retries        int64
+	retryExhausted int64
 }
 
 // Latency returns the channel's traversal latency in cycles.
@@ -60,6 +78,16 @@ func (c *Channel) Latency() int64 { return c.latency }
 
 // BusyCycles returns the number of cycles a flit was sent on this channel.
 func (c *Channel) BusyCycles() int64 { return c.busyCycles }
+
+// Failed reports whether the channel has been permanently failed.
+func (c *Channel) Failed() bool { return c.failed }
+
+// Retries returns the number of link-level flit retransmissions performed.
+func (c *Channel) Retries() int64 { return c.retries }
+
+// RetryExhausted returns the number of flits forced through after
+// exhausting the retry budget.
+func (c *Channel) RetryExhausted() int64 { return c.retryExhausted }
 
 func (c *Channel) canSend(cycle int64) bool { return c.lastSendCycle < cycle }
 
@@ -104,6 +132,27 @@ func (c *Channel) deliver(n *Network) {
 		}
 	}
 	for len(c.fifo) > 0 && c.fifo[0].arrive <= n.cycle {
+		if c.pendingCorrupt > 0 {
+			// Injected transient error: the link CRC rejects the arriving
+			// flit. Within the retry budget it is NAKed and replayed — the
+			// flit stays at the FIFO head with its arrival re-stamped one
+			// round trip out, so later flits wait behind it and wormhole
+			// order is preserved. Past the budget the link controller forces
+			// the flit through (detected-but-uncorrected) and the error
+			// burst ends.
+			c.pendingCorrupt--
+			if c.fifo[0].attempts < n.cfg.LinkRetryLimit {
+				c.fifo[0].attempts++
+				c.fifo[0].arrive = n.cycle + 2*c.latency
+				c.retries++
+				c.busyCycles++
+				n.noteRetransmit(c, c.fifo[0].f.pkt, c.fifo[0].attempts)
+				break
+			}
+			c.retryExhausted++
+			c.pendingCorrupt = 0
+			n.noteRetryExhausted(c, c.fifo[0].f.pkt)
+		}
 		it := c.fifo[0]
 		c.fifo = c.fifo[1:]
 		if c.dstTerm >= 0 {

@@ -41,12 +41,22 @@ func (n *Network) DumpState(w io.Writer) {
 		}
 	}
 	for _, c := range n.channels {
-		if len(c.fifo) == 0 && len(c.holdQ) == 0 && c.expressing == 0 && len(c.passState) == 0 {
+		faulty := c.failed || c.pendingCorrupt > 0 || c.retries > 0 || c.retryExhausted > 0
+		if len(c.fifo) == 0 && len(c.holdQ) == 0 && c.expressing == 0 && len(c.passState) == 0 && !faulty {
 			continue
 		}
-		fmt.Fprintf(w, "channel %d (%d/%d->%d/%d): fifo=%d hold=%d expressing=%d passState=%d\n",
+		fmt.Fprintf(w, "channel %d (%d/%d->%d/%d): fifo=%d hold=%d expressing=%d passState=%d",
 			c.index, c.srcRouter, c.srcTerm, c.dstRouter, c.dstTerm,
 			len(c.fifo), len(c.holdQ), c.expressing, len(c.passState))
+		if faulty {
+			fmt.Fprintf(w, " failed=%v corruptPending=%d retries=%d retryExhausted=%d",
+				c.failed, c.pendingCorrupt, c.retries, c.retryExhausted)
+			if len(c.fifo) > 0 {
+				fmt.Fprintf(w, " front{pkt=%d idx=%d arrive=%d attempts=%d}",
+					c.fifo[0].f.pkt.ID, c.fifo[0].f.idx, c.fifo[0].arrive, c.fifo[0].attempts)
+			}
+		}
+		fmt.Fprintln(w)
 	}
 	for _, t := range n.terminals {
 		for i, p := range t.ports {

@@ -20,6 +20,7 @@ package noc
 import (
 	"fmt"
 
+	"memnet/internal/obs"
 	"memnet/internal/sim"
 	"memnet/internal/stats"
 )
@@ -37,6 +38,10 @@ type Config struct {
 	PassThrough    int     // per-hop latency of an overlay pass-through hop (1)
 	EjectPerCycle  int     // flits per cycle a router can hand to its vaults
 	ClockMHz       float64 // router/channel clock (1250)
+	// LinkRetryLimit bounds link-level retransmissions per flit under
+	// injected transient errors; past it the flit is forced through and
+	// counted as retry-exhausted.
+	LinkRetryLimit int
 }
 
 // DefaultConfig returns the paper's network parameters.
@@ -52,6 +57,7 @@ func DefaultConfig() Config {
 		PassThrough:    1,
 		EjectPerCycle:  8,
 		ClockMHz:       1250,
+		LinkRetryLimit: 8,
 	}
 }
 
@@ -163,6 +169,14 @@ type Network struct {
 	// Select between minimal and UGAL injection routing.
 	ugal bool
 
+	// Fault state (see fault.go): baseReach snapshots pristine reachability
+	// at Finalize for partition detection; faultTrack carries fault and
+	// recovery instants when tracing is attached; linkRetries totals
+	// link-level retransmissions across channels.
+	baseReach   *reachSnapshot
+	faultTrack  obs.Track
+	linkRetries int64
+
 	nextAutoID uint64
 }
 
@@ -237,6 +251,7 @@ func (n *Network) Connect(a, b int, opts ChannelOpts) int {
 	lat := n.cfg.SerDesCycles + n.cfg.WireCycles + opts.ExtraLatency
 	fwd := n.addChannel(lat)
 	rev := n.addChannel(lat)
+	fwd.partner, rev.partner = rev.index, fwd.index
 	ra, rb := n.routers[a], n.routers[b]
 	pa := ra.addPort(fwd, rev, peerRouter, b)
 	pb := rb.addPort(rev, fwd, peerRouter, a)
@@ -256,6 +271,7 @@ func (n *Network) Attach(t, r, k int) int {
 		lat := n.cfg.SerDesCycles + n.cfg.WireCycles
 		toR := n.addChannel(lat)   // terminal -> router
 		fromR := n.addChannel(lat) // router -> terminal
+		toR.partner, fromR.partner = fromR.index, toR.index
 		rp := n.routers[r].addPort(fromR, toR, peerTerminal, t)
 		toR.srcTerm = t
 		toR.srcPort = len(term.ports)
@@ -273,6 +289,7 @@ func (n *Network) addChannel(latency int) *Channel {
 		latency:   int64(latency),
 		srcRouter: -1, srcTerm: -1, srcPort: -1,
 		dstRouter: -1, dstTerm: -1, dstPort: -1,
+		partner: -1,
 	}
 	n.channels = append(n.channels, c)
 	return c
@@ -281,6 +298,9 @@ func (n *Network) addChannel(latency int) *Channel {
 // NumChannels returns the total number of unidirectional channels,
 // including terminal attachment channels.
 func (n *Network) NumChannels() int { return len(n.channels) }
+
+// Channel returns channel idx.
+func (n *Network) Channel(idx int) *Channel { return n.channels[idx] }
 
 // NumRouterChannels returns the number of unidirectional router-to-router
 // channels (the quantity compared in Fig. 12, where one bidirectional
@@ -306,6 +326,9 @@ func (n *Network) Finalize() error {
 		return err
 	}
 	n.routes = rt
+	// Snapshot pristine reachability so later link failures can detect
+	// partition (see fault.go).
+	n.baseReach = n.reachNow(rt)
 	n.Stats.Traffic = stats.NewMatrix(len(n.terminals), len(n.routers))
 	return nil
 }

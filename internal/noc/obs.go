@@ -22,6 +22,7 @@ func (n *Network) RegisterObs(sm *obs.Sampler) {
 	}
 	sm.Rate("noc.injected", func() float64 { return float64(n.flitsInjected) }, 1)
 	sm.Rate("noc.retired", func() float64 { return float64(n.flitsRetired) }, 1)
+	sm.Rate("noc.link_retries", func() float64 { return float64(n.linkRetries) }, 1)
 	for _, c := range n.channels {
 		c := c
 		sm.Rate(fmt.Sprintf("noc/ch%d.util", c.index),

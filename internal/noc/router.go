@@ -1,5 +1,7 @@
 package noc
 
+import "fmt"
+
 // ejectPort is the virtual output for packets whose destination is this
 // router (delivery into the HMC's vault controllers).
 const ejectPort = -2
@@ -279,7 +281,8 @@ func (r *Router) route(n *Network, pkt *Packet) int {
 
 func (r *Router) pick(n *Network, pkt *Packet, ports []int) int {
 	if len(ports) == 0 {
-		panic("noc: no route from router to destination")
+		panic(fmt.Sprintf("noc: router %d: no route for packet %d (dst router=%d term=%d)",
+			r.id, pkt.ID, pkt.DstRouter, pkt.DstTerm))
 	}
 	if len(ports) == 1 {
 		return ports[0]

@@ -30,11 +30,13 @@ func buildRoutes(n *Network) (*routeTable, error) {
 		pT: make([][]int, nR*nT),
 	}
 	// adjacency: for each router, its router-facing ports and peers.
+	// Failed channels carry no new traffic, so they contribute no edges —
+	// rebuilding after a link failure routes around the dead pair.
 	type edge struct{ port, peer int }
 	adj := make([][]edge, nR)
 	for r, router := range n.routers {
 		for pi, op := range router.out {
-			if op.peer == peerRouter {
+			if op.peer == peerRouter && !op.ch.failed {
 				adj[r] = append(adj[r], edge{port: pi, peer: op.peerID})
 			}
 		}
@@ -86,7 +88,7 @@ func buildRoutes(n *Network) (*routeTable, error) {
 		attachedPorts := make(map[int][]int)
 		for _, router := range n.routers {
 			for pi, op := range router.out {
-				if op.peer == peerTerminal && op.peerID == term.id {
+				if op.peer == peerTerminal && op.peerID == term.id && !op.ch.failed {
 					if len(attachedPorts[router.id]) == 0 {
 						attachedRouters = append(attachedRouters, router.id)
 					}

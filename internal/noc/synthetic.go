@@ -23,6 +23,10 @@ const (
 	// HotSpot sends half the traffic to a single HMC, the rest uniformly
 	// — the CG.S-like imbalanced case.
 	HotSpot
+	// LocalUniform sends every packet to a uniformly random HMC of the
+	// source's own cluster — the only traffic a star topology can carry
+	// (remote accesses go over PCIe there), used by the degradation sweep.
+	LocalUniform
 )
 
 func (p TrafficPattern) String() string {
@@ -33,6 +37,8 @@ func (p TrafficPattern) String() string {
 		return "permutation"
 	case HotSpot:
 		return "hotspot"
+	case LocalUniform:
+		return "local-uniform"
 	}
 	return fmt.Sprintf("TrafficPattern(%d)", int(p))
 }
@@ -46,6 +52,10 @@ type LoadPoint struct {
 	AvgLatency float64
 	// Throughput is accepted flits per terminal per cycle.
 	Throughput float64
+	// RTThroughput is delivered response flits per terminal per cycle.
+	// Responses are the heavy (line-carrying) class that saturates first,
+	// so this is the capacity measure the degradation sweep reads.
+	RTThroughput float64
 	// AvgHops is the mean hop count.
 	AvgHops float64
 }
@@ -59,6 +69,13 @@ type SyntheticConfig struct {
 	MeasureCyc  int64 // measured window
 	DrainCycMax int64 // post-window drain bound
 	Seed        int64
+
+	// FailLinks fails this many survivable channel pairs (seeded by
+	// FailSeed) before traffic starts — the degradation experiment's knob.
+	// Selection is prefix-stable, so growing FailLinks under one FailSeed
+	// yields nested failure sets.
+	FailLinks int
+	FailSeed  int64
 }
 
 // DefaultSyntheticConfig returns a read-request sweep setup.
@@ -86,10 +103,13 @@ func RunSynthetic(spec TopoSpec, netCfg Config, syn SyntheticConfig, injectionRa
 		return LoadPoint{}, err
 	}
 	n := b.Net
+	if syn.FailLinks > 0 {
+		n.FailSurvivableChannels(syn.FailSeed, syn.FailLinks)
+	}
 	rng := rand.New(rand.NewSource(syn.Seed))
 
 	var measuredLat, measuredHops float64
-	var measuredPkts, acceptedFlits int64
+	var measuredPkts, acceptedFlits, deliveredFlits int64
 	measuring := false
 
 	n.RouterSink = func(r int, pkt *Packet) {
@@ -106,6 +126,7 @@ func RunSynthetic(spec TopoSpec, netCfg Config, syn SyntheticConfig, injectionRa
 			if !measuring {
 				return
 			}
+			deliveredFlits += int64(resp.Size)
 			measuredPkts++
 			measuredLat += float64(resp.DeliveredAt-req.CreatedAt) / float64(n.Clock().Period())
 			measuredHops += float64(req.Hops + resp.Hops)
@@ -123,6 +144,8 @@ func RunSynthetic(spec TopoSpec, netCfg Config, syn SyntheticConfig, injectionRa
 				return hot
 			}
 			return rng.Intn(n.NumRouters())
+		case LocalUniform:
+			return b.RouterID(src%spec.Clusters, rng.Intn(spec.LocalPerCluster))
 		default:
 			return rng.Intn(n.NumRouters())
 		}
@@ -157,6 +180,7 @@ func RunSynthetic(spec TopoSpec, netCfg Config, syn SyntheticConfig, injectionRa
 		lp.AvgHops = measuredHops / float64(measuredPkts)
 	}
 	lp.Throughput = float64(acceptedFlits) / float64(syn.MeasureCyc) / float64(n.NumTerminals())
+	lp.RTThroughput = float64(deliveredFlits) / float64(syn.MeasureCyc) / float64(n.NumTerminals())
 	return lp, nil
 }
 

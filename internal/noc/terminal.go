@@ -1,5 +1,7 @@
 package noc
 
+import "fmt"
+
 // termPort is one channel-pair attachment between a terminal and a router.
 type termPort struct {
 	toRouter   *Channel
@@ -90,7 +92,8 @@ func (t *Terminal) enqueue(pkt *Packet) {
 func (t *Terminal) bestPort(pkt *Packet, dstRouter int) int {
 	best := t.bestPortOrNone(pkt, dstRouter)
 	if best == -1 {
-		panic("noc: destination unreachable from terminal")
+		panic(fmt.Sprintf("noc: terminal %d (%s): destination unreachable (router=%d term=%d)",
+			t.id, t.name, dstRouter, pkt.DstTerm))
 	}
 	return best
 }
@@ -101,6 +104,9 @@ func (t *Terminal) bestPort(pkt *Packet, dstRouter int) int {
 func (t *Terminal) bestPortOrNone(pkt *Packet, dstRouter int) int {
 	best, bestDist, bestQ := -1, int(1<<30), 0
 	for i, p := range t.ports {
+		if p.toRouter.failed {
+			continue // dead attachment pair: cannot inject here
+		}
 		var d int
 		if dstRouter >= 0 {
 			d = t.net.routes.distToRouter(p.router, dstRouter)

@@ -26,6 +26,14 @@ type Config struct {
 	TLPHeader     int      // header bytes added to each transfer's payload
 	MaxPayload    int      // payload bytes per TLP (transfers are chunked)
 	SwitchLatency sim.Time // additional latency when crossing the switch
+
+	// RetryTimeout is the replay timer for a transfer that draws an
+	// injected timeout: the retry fires after RetryTimeout << attempt
+	// (bounded exponential backoff). RetryLimit bounds the attempts; a
+	// transfer that exhausts its budget is forced through so the fabric
+	// cannot livelock.
+	RetryTimeout sim.Time
+	RetryLimit   int
 }
 
 // DefaultConfig returns 16-lane PCIe v3.0 parameters.
@@ -36,6 +44,8 @@ func DefaultConfig() Config {
 		TLPHeader:     24,
 		MaxPayload:    256,
 		SwitchLatency: 100 * sim.Nanosecond,
+		RetryTimeout:  10 * sim.Microsecond,
+		RetryLimit:    4,
 	}
 }
 
@@ -46,12 +56,21 @@ type Stats struct {
 	WireBytes  stats.Counter // payload + TLP headers
 	Latency    stats.Mean    // per-transfer completion latency (ps)
 	LinkBusyPS stats.Counter // total link-busy picoseconds across links
+	// Timeouts counts send attempts lost to injected timeouts; each one
+	// schedules exactly one retry (the audited balance). RetriesExhausted
+	// counts transfers forced through after using their whole budget.
+	Timeouts         stats.Counter
+	Retries          stats.Counter
+	RetriesExhausted stats.Counter
 }
 
 type port struct {
 	name     string
 	upFree   sim.Time // next free time of the endpoint->switch direction
 	downFree sim.Time // next free time of the switch->endpoint direction
+	// dropNext makes the next n transfers sourced here time out (fault
+	// injection); each decrements it and retries after backoff.
+	dropNext int
 }
 
 // Fabric is one PCIe switch with its endpoint links.
@@ -63,6 +82,9 @@ type Fabric struct {
 	// rtOpen counts round trips whose response has not been sent yet: every
 	// request packet must eventually be paired with exactly one response.
 	rtOpen int64
+	// retryOpen counts retries scheduled but not yet re-attempted; it must
+	// return to zero whenever the fabric drains.
+	retryOpen int64
 
 	// traces holds one timeline per endpoint for its outbound transfer
 	// spans; empty when tracing is off.
@@ -108,6 +130,7 @@ func (f *Fabric) RegisterObs(sm *obs.Sampler) {
 		return
 	}
 	sm.Rate("pcie.bytes", func() float64 { return float64(f.Stats.Bytes.Value()) }, 1)
+	sm.Rate("pcie.timeouts", func() float64 { return float64(f.Stats.Timeouts.Value()) }, 1)
 	sm.Gauge("pcie.open_rt", func() float64 { return float64(f.rtOpen) })
 }
 
@@ -124,15 +147,53 @@ func (f *Fabric) wireTime(n int64) (sim.Time, int64) {
 	return sim.Time(ps), wire
 }
 
+// InjectTimeout makes the next n transfers sourced at endpoint ep time out
+// and enter the retry path (fault injection). Out-of-range arguments are
+// ignored.
+func (f *Fabric) InjectTimeout(ep, n int) {
+	if ep < 0 || ep >= len(f.ports) || n <= 0 {
+		return
+	}
+	f.ports[ep].dropNext += n
+}
+
 // Send moves n payload bytes from endpoint src to endpoint dst and calls
 // done when the last byte arrives. Transfers on the same links serialize in
-// FIFO order; different link pairs proceed in parallel.
+// FIFO order; different link pairs proceed in parallel. A transfer hit by
+// an injected timeout is retried with bounded exponential backoff; done
+// still fires exactly once, after the attempt that gets through.
 func (f *Fabric) Send(src, dst int, n int64, done func()) {
+	f.sendAttempt(src, dst, n, done, 0)
+}
+
+func (f *Fabric) sendAttempt(src, dst int, n int64, done func(), attempt int) {
 	if src == dst {
 		panic("pcie: transfer to self")
 	}
 	if src < 0 || src >= len(f.ports) || dst < 0 || dst >= len(f.ports) {
 		panic(fmt.Sprintf("pcie: endpoint out of range (%d -> %d)", src, dst))
+	}
+	if sp := f.ports[src]; sp.dropNext > 0 {
+		if attempt >= f.cfg.RetryLimit || f.cfg.RetryTimeout <= 0 {
+			// Budget exhausted: stop consuming the fault and force the
+			// transfer through so the endpoint cannot livelock.
+			sp.dropNext = 0
+			f.Stats.RetriesExhausted.Inc()
+		} else {
+			sp.dropNext--
+			f.Stats.Timeouts.Inc()
+			f.Stats.Retries.Inc()
+			f.retryOpen++
+			if len(f.traces) == len(f.ports) && f.traces[src].Enabled() {
+				f.traces[src].Instant(fmt.Sprintf("timeout, retry %d ->%s",
+					attempt+1, f.ports[dst].name), f.eng.Now())
+			}
+			f.eng.After(f.cfg.RetryTimeout<<attempt, func() {
+				f.retryOpen--
+				f.sendAttempt(src, dst, n, done, attempt+1)
+			})
+			return
+		}
 	}
 	now := f.eng.Now()
 	ser, wire := f.wireTime(n)
@@ -191,6 +252,13 @@ func (f *Fabric) RegisterAudits(reg *audit.Registry) {
 	reg.Register("pcie", func(report func(string)) {
 		if f.rtOpen < 0 {
 			report(fmt.Sprintf("round-trip ledger negative: %d (response sent twice)", f.rtOpen))
+		}
+		if f.retryOpen < 0 {
+			report(fmt.Sprintf("retry ledger negative: %d (retry ran twice)", f.retryOpen))
+		}
+		if f.Stats.Retries.Value() != f.Stats.Timeouts.Value() {
+			report(fmt.Sprintf("retry/timeout imbalance: %d retries for %d timeouts",
+				f.Stats.Retries.Value(), f.Stats.Timeouts.Value()))
 		}
 		if f.Stats.WireBytes.Value() < f.Stats.Bytes.Value() {
 			report(fmt.Sprintf("wire bytes %d below payload bytes %d (header accounting lost)",

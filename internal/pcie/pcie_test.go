@@ -169,3 +169,58 @@ func TestRoundTripLedgerBalances(t *testing.T) {
 		t.Fatal("negative ledger not detected")
 	}
 }
+
+func TestInjectedTimeoutRetriesWithBackoff(t *testing.T) {
+	eng, f, ids := newFabric(t, 2)
+	f.InjectTimeout(ids[0], 2)
+	done := 0
+	var doneAt sim.Time
+	f.Send(ids[0], ids[1], 128, func() { done++; doneAt = eng.Now() })
+	eng.Run()
+	if done != 1 {
+		t.Fatalf("done fired %d times, want exactly 1", done)
+	}
+	if f.Stats.Timeouts.Value() != 2 || f.Stats.Retries.Value() != 2 {
+		t.Fatalf("timeouts/retries = %d/%d, want 2/2",
+			f.Stats.Timeouts.Value(), f.Stats.Retries.Value())
+	}
+	if f.retryOpen != 0 {
+		t.Fatalf("retry ledger did not drain: %d", f.retryOpen)
+	}
+	// Two backoff waits (T, then 2T) precede the attempt that succeeds.
+	cfg := DefaultConfig()
+	floor := 3*cfg.RetryTimeout + cfg.Latency + cfg.SwitchLatency
+	if doneAt < floor {
+		t.Fatalf("retried transfer done at %d ps, before backoff floor %d", doneAt, floor)
+	}
+}
+
+func TestTimeoutRetryExhaustionForcesThrough(t *testing.T) {
+	eng, f, ids := newFabric(t, 2)
+	reg := audit.New(func() int64 { return int64(eng.Now()) })
+	f.RegisterAudits(reg)
+	f.InjectTimeout(ids[0], 100) // far beyond the retry budget
+	done := 0
+	f.Send(ids[0], ids[1], 128, func() { done++ })
+	eng.Run()
+	if done != 1 {
+		t.Fatal("exhausted transfer never completed (retry livelock)")
+	}
+	limit := int64(DefaultConfig().RetryLimit)
+	if f.Stats.Retries.Value() != limit || f.Stats.RetriesExhausted.Value() != 1 {
+		t.Fatalf("retries/exhausted = %d/%d, want %d/1",
+			f.Stats.Retries.Value(), f.Stats.RetriesExhausted.Value(), limit)
+	}
+	if f.ports[ids[0]].dropNext != 0 {
+		t.Fatalf("exhaustion left %d drops armed", f.ports[ids[0]].dropNext)
+	}
+	if reg.Check() != 0 {
+		t.Fatalf("audit violations after exhaustion: %v", reg.Violations())
+	}
+	// The fault is spent: the next transfer passes untouched.
+	f.Send(ids[0], ids[1], 128, func() { done++ })
+	eng.Run()
+	if done != 2 || f.Stats.Timeouts.Value() != limit {
+		t.Fatal("endpoint did not recover after retry exhaustion")
+	}
+}

@@ -70,15 +70,20 @@ type Config struct {
 	PageTableSync sim.Time
 	// StealChunk is how many CTAs one steal moves.
 	StealChunk int
+	// WatchdogInterval is the period of the GPU progress watchdog armed by
+	// StartWatchdog: a busy device whose progress counter is unchanged over
+	// a full interval is declared dead and its CTAs re-queued.
+	WatchdogInterval sim.Time
 }
 
 // DefaultConfig returns the paper's configuration: static chunked
 // assignment.
 func DefaultConfig() Config {
 	return Config{
-		Policy:        StaticChunk,
-		PageTableSync: 5 * sim.Microsecond,
-		StealChunk:    4,
+		Policy:           StaticChunk,
+		PageTableSync:    5 * sim.Microsecond,
+		StealChunk:       4,
+		WatchdogInterval: 200 * sim.Microsecond,
 	}
 }
 
@@ -86,6 +91,10 @@ func DefaultConfig() Config {
 type Stats struct {
 	Kernels    stats.Counter
 	CTAsStolen stats.Counter
+	// GPUsFailed counts devices reclaimed after a failure; CTAsRequeued
+	// counts their unfinished CTAs moved to survivors.
+	GPUsFailed   stats.Counter
+	CTAsRequeued stats.Counter
 	// PerGPU[i] is the number of CTAs GPU i executed.
 	PerGPU []stats.Counter
 }
@@ -99,6 +108,23 @@ type Runtime struct {
 	remaining int
 	onDone    func()
 	kernel    gpu.Kernel
+
+	// owed[g] counts the launch commands GPU g has not yet completed;
+	// remaining is always the sum of owed (an audited invariant). dead
+	// marks reclaimed devices.
+	owed []int
+	dead []bool
+
+	// Watchdog state: last-observed per-GPU progress counters, plus the
+	// arming flags that keep exactly one tick pending while work is in
+	// flight (a free-running ticker would keep the event engine alive
+	// forever).
+	watchLast     []int64
+	watchArmed    bool
+	watchPending  bool
+	watchInterval sim.Time
+
+	fatal error
 
 	assigned int64 // CTAs handed to GPUs across all launches
 	aud      *audit.Registry
@@ -123,8 +149,14 @@ func New(eng *sim.Engine, cfg Config, gpus []*gpu.GPU) (*Runtime, error) {
 	if cfg.StealChunk <= 0 {
 		cfg.StealChunk = 1
 	}
-	return &Runtime{eng: eng, cfg: cfg, gpus: gpus,
-		Stats: Stats{PerGPU: make([]stats.Counter, len(gpus))}}, nil
+	r := &Runtime{eng: eng, cfg: cfg, gpus: gpus,
+		owed: make([]int, len(gpus)), dead: make([]bool, len(gpus)),
+		watchLast: make([]int64, len(gpus)),
+		Stats:     Stats{PerGPU: make([]stats.Counter, len(gpus))}}
+	for i := range r.watchLast {
+		r.watchLast[i] = -1
+	}
+	return r, nil
 }
 
 // NumGPUs returns the virtual GPU's physical device count.
@@ -173,23 +205,53 @@ func (r *Runtime) Launch(kernel gpu.Kernel, onDone func()) {
 	if r.remaining > 0 {
 		panic("ske: Launch while a kernel is in flight")
 	}
+	live := r.liveGPUs()
+	if len(live) == 0 {
+		r.fail(fmt.Errorf("ske: launch of %q with no surviving GPUs", kernel.Name()))
+		return
+	}
 	r.Stats.Kernels.Inc()
 	r.kernel = kernel
 	r.onDone = onDone
-	parts := Assign(r.cfg.Policy, kernel.NumCTAs(), len(r.gpus))
+	parts := Assign(r.cfg.Policy, kernel.NumCTAs(), len(live))
 	if r.aud != nil {
-		r.auditAssign(parts, kernel.NumCTAs())
+		r.auditAssign(parts, kernel.NumCTAs(), len(live))
 	}
 	r.assigned += int64(kernel.NumCTAs())
-	r.remaining = len(r.gpus)
+	r.remaining = len(live)
+	for _, g := range live {
+		r.owed[g]++
+	}
 	r.launchAt = r.eng.Now()
 	if r.trace.Enabled() {
 		r.trace.Instant(fmt.Sprintf("launch %s (%d CTAs)", kernel.Name(), kernel.NumCTAs()), r.launchAt)
 	}
+	if r.watchArmed {
+		// Clear the progress baselines: a busy device is only declared dead
+		// after a full interval of *observed* frozen progress, so a launch
+		// whose first instruction takes longer than one tick is not a death.
+		for i := range r.watchLast {
+			r.watchLast[i] = -1
+		}
+		r.armWatchdog()
+	}
 	// Page-table synchronization precedes the per-GPU launch commands.
 	r.eng.After(r.cfg.PageTableSync, func() {
-		for g, part := range parts {
-			g, part := g, part
+		for pi, part := range parts {
+			g, part := live[pi], part
+			if r.dead[g] {
+				// The target died during the page-table sync window (its
+				// owed count was already struck by ReclaimGPU); hand the
+				// partition to a survivor instead.
+				s := r.firstLive()
+				if s < 0 {
+					r.fail(fmt.Errorf("ske: %d CTAs of %q lost: no surviving GPUs", len(part), kernel.Name()))
+					continue
+				}
+				g = s
+				r.owed[g]++
+				r.remaining++
+			}
 			r.Stats.PerGPU[g].Add(int64(len(part)))
 			r.noteChunk(g, len(part))
 			r.gpus[g].Launch(kernel, part, func() { r.gpuDone(g) })
@@ -198,6 +260,12 @@ func (r *Runtime) Launch(kernel gpu.Kernel, onDone func()) {
 }
 
 func (r *Runtime) gpuDone(g int) {
+	if r.dead[g] {
+		// A completion racing with reclamation (e.g. the zero-CTA launch
+		// acknowledgment, which has no context to cancel): the device's
+		// owed count was already struck and its work re-queued.
+		return
+	}
 	r.endChunk(g)
 	if r.cfg.Policy == StaticSteal {
 		if victim := r.mostLoaded(); victim >= 0 {
@@ -217,7 +285,12 @@ func (r *Runtime) gpuDone(g int) {
 			}
 		}
 	}
+	r.owed[g]--
 	r.remaining--
+	r.maybeFinish()
+}
+
+func (r *Runtime) maybeFinish() {
 	if r.remaining == 0 && r.onDone != nil {
 		if r.trace.Enabled() {
 			r.trace.Span(r.kernel.Name(), r.launchAt, r.eng.Now())
@@ -225,6 +298,130 @@ func (r *Runtime) gpuDone(g int) {
 		done := r.onDone
 		r.onDone = nil
 		done()
+	}
+}
+
+// Err returns the runtime's fatal error, if any: work was lost with no
+// surviving GPU to re-queue it on.
+func (r *Runtime) Err() error { return r.fatal }
+
+func (r *Runtime) fail(err error) {
+	if r.fatal == nil {
+		r.fatal = err
+	}
+}
+
+// liveGPUs returns the indices of devices not yet reclaimed.
+func (r *Runtime) liveGPUs() []int {
+	var live []int
+	for i := range r.gpus {
+		if !r.dead[i] {
+			live = append(live, i)
+		}
+	}
+	return live
+}
+
+// firstLive returns the lowest-numbered surviving device, or -1.
+func (r *Runtime) firstLive() int {
+	for i := range r.gpus {
+		if !r.dead[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// ReclaimGPU declares device g dead: the GPU is killed (fail-stop), its
+// unfinished CTAs — queued and resident — are reaped, and the chunks are
+// re-queued round-robin across the survivors so the kernel still
+// completes. CTA conservation holds throughout: the dead GPU's accepted
+// and per-GPU executed ledgers are debited by exactly the CTAs handed
+// back. Idempotent; with no survivors the runtime records a fatal error.
+func (r *Runtime) ReclaimGPU(g int) error {
+	if g < 0 || g >= len(r.gpus) {
+		return fmt.Errorf("ske: reclaim of unknown GPU %d", g)
+	}
+	if r.dead[g] {
+		return nil
+	}
+	r.dead[g] = true
+	r.Stats.GPUsFailed.Inc()
+	r.gpus[g].Kill()
+	chunks := r.gpus[g].Reap()
+	total := 0
+	for _, c := range chunks {
+		total += len(c.CTAs)
+	}
+	r.Stats.PerGPU[g].Add(-int64(total))
+	r.remaining -= r.owed[g]
+	r.owed[g] = 0
+	if r.trace.Enabled() {
+		r.trace.Instant(fmt.Sprintf("gpu%d failed: requeue %d CTAs", g, total), r.eng.Now())
+	}
+	live := r.liveGPUs()
+	if len(live) == 0 {
+		if total > 0 {
+			err := fmt.Errorf("ske: GPU %d failed with no survivors; %d CTAs lost", g, total)
+			r.fail(err)
+			return err
+		}
+		return nil
+	}
+	r.Stats.CTAsRequeued.Add(int64(total))
+	for i, c := range chunks {
+		s, c := live[i%len(live)], c
+		r.owed[s]++
+		r.remaining++
+		r.Stats.PerGPU[s].Add(int64(len(c.CTAs)))
+		r.noteChunk(s, len(c.CTAs))
+		r.gpus[s].Launch(c.Kernel, c.CTAs, func() { r.gpuDone(s) })
+	}
+	r.maybeFinish()
+	return nil
+}
+
+// StartWatchdog arms the progress watchdog: every interval, a device that
+// is busy but whose progress counter has not advanced since the previous
+// tick is declared dead and reclaimed. The tick chain only stays scheduled
+// while launch commands are outstanding, so an idle system still drains.
+func (r *Runtime) StartWatchdog(interval sim.Time) {
+	if r.watchArmed || interval <= 0 {
+		return
+	}
+	r.watchArmed = true
+	r.watchInterval = interval
+	r.armWatchdog()
+}
+
+func (r *Runtime) armWatchdog() {
+	if r.watchPending {
+		return
+	}
+	r.watchPending = true
+	r.eng.After(r.watchInterval, r.watchTick)
+}
+
+func (r *Runtime) watchTick() {
+	r.watchPending = false
+	for i, g := range r.gpus {
+		if r.dead[i] {
+			continue
+		}
+		p := g.Progress()
+		if g.Busy() && p == r.watchLast[i] {
+			// Frozen across a whole interval while holding work: dead.
+			r.ReclaimGPU(i)
+			continue
+		}
+		if g.Busy() {
+			r.watchLast[i] = p
+		} else {
+			r.watchLast[i] = -1
+		}
+	}
+	if r.remaining > 0 {
+		r.armWatchdog()
 	}
 }
 
@@ -280,8 +477,18 @@ func (r *Runtime) RegisterAudits(reg *audit.Registry) {
 		if sum != r.assigned {
 			report(fmt.Sprintf("CTA conservation: per-GPU counts sum to %d, want %d assigned (steal bookkeeping leak)", sum, r.assigned))
 		}
-		if r.remaining < 0 || r.remaining > len(r.gpus) {
-			report(fmt.Sprintf("in-flight GPU count %d outside [0,%d]", r.remaining, len(r.gpus)))
+		owedSum := 0
+		for i, o := range r.owed {
+			if o < 0 {
+				report(fmt.Sprintf("GPU %d owes %d launch completions (negative)", i, o))
+			}
+			if o > 0 && r.dead[i] {
+				report(fmt.Sprintf("dead GPU %d still owes %d launch completions", i, o))
+			}
+			owedSum += o
+		}
+		if r.remaining != owedSum {
+			report(fmt.Sprintf("in-flight launch count %d != sum of per-GPU owed %d", r.remaining, owedSum))
 		}
 		if r.remaining == 0 && r.onDone != nil {
 			report("kernel completion callback stranded after all GPUs drained")
@@ -290,9 +497,9 @@ func (r *Runtime) RegisterAudits(reg *audit.Registry) {
 }
 
 // auditAssign verifies a launch's partitions cover the CTA space exactly.
-func (r *Runtime) auditAssign(parts [][]int, n int) {
-	if len(parts) != len(r.gpus) {
-		r.aud.Reportf("ske", "Assign produced %d partitions for %d GPUs", len(parts), len(r.gpus))
+func (r *Runtime) auditAssign(parts [][]int, n, gpus int) {
+	if len(parts) != gpus {
+		r.aud.Reportf("ske", "Assign produced %d partitions for %d live GPUs", len(parts), gpus)
 		return
 	}
 	seen := make([]bool, n)

@@ -397,3 +397,100 @@ func TestStaticStealAssignsLikeChunk(t *testing.T) {
 		}
 	}
 }
+
+func TestGPUFailureWatchdogRequeuesAndConserves(t *testing.T) {
+	eng := sim.NewEngine()
+	gs := mkGPUs(t, eng, 4)
+	cfg := DefaultConfig()
+	cfg.PageTableSync = 0
+	rt, err := New(eng, cfg, gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := audit.New(func() int64 { return int64(eng.Now()) })
+	rt.RegisterAudits(reg)
+	ran := make(map[int]int)
+	k := &kern{ctas: 64, ops: func(cta, warp int) []gpu.WarpOp {
+		if warp == 0 {
+			ran[cta]++
+		}
+		return []gpu.WarpOp{{Compute: 500},
+			{Kind: gpu.OpLoad, Addrs: []mem.Addr{mem.Addr(cta * 4096)}},
+			{Compute: 500}}
+	}}
+	done := false
+	rt.Launch(k, func() { done = true })
+	// The interval must exceed the longest gap between progress-counter
+	// increments on a healthy device, or survivors get falsely reclaimed.
+	rt.StartWatchdog(2 * sim.Microsecond)
+	// Fail-stop GPU 2 just after CTAs start flowing; the watchdog must spot
+	// the busy device whose progress froze and re-queue its CTAs.
+	eng.After(200*sim.Nanosecond, func() { gs[2].Kill() })
+	eng.Run()
+	if !done {
+		t.Fatal("kernel never completed after GPU failure")
+	}
+	if rt.Stats.GPUsFailed.Value() != 1 {
+		t.Fatalf("GPUsFailed = %d, want 1", rt.Stats.GPUsFailed.Value())
+	}
+	if rt.Stats.CTAsRequeued.Value() == 0 {
+		t.Fatal("dead GPU's CTAs were not re-queued")
+	}
+	// Every CTA ran (re-queued in-flight CTAs restart, so >1 is legal).
+	if len(ran) != 64 {
+		t.Fatalf("%d distinct CTAs ran, want 64", len(ran))
+	}
+	// Accepted ledger stays balanced: per-GPU executed counts cover the
+	// kernel exactly, the dead GPU owes nothing, and the audits agree.
+	var total int64
+	for i := range rt.Stats.PerGPU {
+		if v := rt.Stats.PerGPU[i].Value(); v < 0 {
+			t.Fatalf("GPU %d CTA count negative: %d", i, v)
+		} else {
+			total += v
+		}
+	}
+	if total != 64 {
+		t.Fatalf("per-GPU counts sum to %d, want 64", total)
+	}
+	if rt.owed[2] != 0 || !rt.dead[2] {
+		t.Fatalf("dead GPU bookkeeping wrong: owed=%d dead=%v", rt.owed[2], rt.dead[2])
+	}
+	if reg.Check() != 0 {
+		t.Fatalf("audit violations after GPU failure: %v", reg.Violations())
+	}
+	if rt.Err() != nil {
+		t.Fatalf("unexpected fatal error: %v", rt.Err())
+	}
+}
+
+func TestAllGPUsFailedIsFatal(t *testing.T) {
+	eng := sim.NewEngine()
+	gs := mkGPUs(t, eng, 2)
+	cfg := DefaultConfig()
+	cfg.PageTableSync = 0
+	rt, err := New(eng, cfg, gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := &kern{ctas: 16, ops: func(cta, warp int) []gpu.WarpOp {
+		return []gpu.WarpOp{{Compute: 2000}}
+	}}
+	rt.Launch(k, func() {})
+	eng.After(time500ns(), func() {
+		gs[0].Kill()
+		gs[1].Kill()
+		if err := rt.ReclaimGPU(0); err != nil {
+			t.Errorf("first reclaim: %v", err)
+		}
+		if err := rt.ReclaimGPU(1); err == nil {
+			t.Error("reclaiming the last GPU with work pending should fail")
+		}
+	})
+	eng.Run()
+	if rt.Err() == nil {
+		t.Fatal("runtime has no fatal error after losing every GPU")
+	}
+}
+
+func time500ns() sim.Time { return 500 * sim.Nanosecond }
