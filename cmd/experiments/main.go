@@ -47,6 +47,7 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress per-experiment timing on stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile after the sweep to this file")
+	nopool := flag.Bool("nopool", false, "disable packet pooling (results are byte-identical either way; exists for CI verification)")
 	auditFlag := flag.Bool("audit", false, "check conservation invariants at every phase boundary of every run (results are byte-identical either way)")
 	traceDir := flag.String("trace", "", "write one Perfetto trace per run into this directory")
 	metricsDir := flag.String("metrics", "", "write one windowed-metrics CSV per run into this directory")
@@ -55,6 +56,7 @@ func main() {
 	degLinks := flag.Int("deg-links", 4, "max failed link pairs for the degradation sweep")
 	flag.Parse()
 	core.SetAuditDefault(*auditFlag)
+	core.SetPacketPoolDefault(!*nopool)
 	if *faultsFile != "" {
 		sched, err := fault.LoadFile(*faultsFile)
 		if err != nil {

@@ -43,6 +43,7 @@ func main() {
 	metricsOut := flag.String("metrics", "", "write windowed metrics to this file (CSV, or JSONL with a .jsonl name)")
 	metricsEpoch := flag.String("metrics-epoch", "", "metrics sampling window, e.g. 500ns or 1us (default 1us)")
 	dumpOnDeadlock := flag.Bool("dump-state-on-deadlock", false, "append a full network state dump to a phase-deadlock error")
+	nopool := flag.Bool("nopool", false, "disable packet pooling (results are byte-identical either way; exists for CI verification)")
 	auditFlag := flag.Bool("audit", false, "check conservation invariants at every phase boundary (results are byte-identical either way)")
 	faultsFile := flag.String("faults", "", "JSON fault-injection schedule (see internal/fault; empty = no faults)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for generated fault schedules and auto link picks")
@@ -55,6 +56,7 @@ func main() {
 	watchdog := flag.String("watchdog", "", "phase forward-progress window, e.g. 10ms; 'off' disables (default 5ms)")
 	flag.Parse()
 	core.SetAuditDefault(*auditFlag)
+	core.SetPacketPoolDefault(!*nopool)
 
 	a, err := memnet.ParseArch(*arch)
 	check(err)

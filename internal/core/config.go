@@ -126,6 +126,18 @@ func (c *Config) auditEnabled() bool {
 	return auditDefault.Load()
 }
 
+// packetPoolDefault is the process-wide packet-pooling default. Pooling is
+// on unless a CLI's -nopool flag turns it off; the switch exists so CI can
+// verify that pooled and unpooled runs produce byte-identical results.
+// Atomic because experiment sweeps build systems from many goroutines.
+var packetPoolDefault atomic.Bool
+
+func init() { packetPoolDefault.Store(true) }
+
+// SetPacketPoolDefault sets the process-wide packet-pooling default used
+// by configs that leave Net.NoPacketPool false.
+func SetPacketPoolDefault(on bool) { packetPoolDefault.Store(on) }
+
 // obsDefault holds process-wide trace/metrics output directories applied
 // to configs that name no output files of their own. Experiment sweeps
 // build their configs internally, so the CLIs route their -trace/-metrics

@@ -96,6 +96,9 @@ func NewSystem(cfg Config) (*System, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	if !packetPoolDefault.Load() {
+		cfg.Net.NoPacketPool = true
+	}
 	w := cfg.Custom
 	if w == nil {
 		var err error
@@ -234,6 +237,17 @@ func (s *System) registerAudits() {
 		}
 	})
 	s.net.RegisterAudits(reg)
+	// The system releases every delivered packet, so it can state the
+	// strict form of the packet-ledger invariant the network itself cannot
+	// (release discipline is the consumer's): a quiescent network has no
+	// live packets at all.
+	reg.Register("noc-pool", func(report func(string)) {
+		if s.net.Quiescent() {
+			if live := s.net.LivePackets(); live != 0 {
+				report(fmt.Sprintf("quiescent network still has %d unreleased packets", live))
+			}
+		}
+	})
 	s.rt.RegisterAudits(reg)
 	for _, g := range s.gpus {
 		g.RegisterAudits(reg)
@@ -411,12 +425,15 @@ func (s *System) routerSink(r int, pkt *noc.Packet) {
 	if !ok {
 		panic("core: router received packet without a memory transaction")
 	}
+	// The transaction carries everything the HMC and the response need; the
+	// request packet itself is done and goes back to the free list.
+	s.net.Release(pkt)
 	req := &hmc.Request{
 		Loc:    t.loc,
 		Write:  t.write,
 		Atomic: t.atomic,
 		Done: func(*hmc.Request) {
-			resp := noc.NewResponse(0, r, t.replyTerm, t.respFlits)
+			resp := s.net.NewResponse(r, t.replyTerm, t.respFlits)
 			resp.PassThrough = t.pass
 			resp.Payload = t
 			s.net.Send(resp)
@@ -437,9 +454,13 @@ func (s *System) routerSink(r int, pkt *noc.Packet) {
 	s.fail(fmt.Errorf("core: hmc%d has no live vault left for vault-%d request", r, orig))
 }
 
-// deliver handles packets arriving at cluster c's terminal.
+// deliver handles packets arriving at cluster c's terminal. Every arriving
+// packet is released here once its payload is extracted: the payload object
+// carries the continuation, so the packet itself never outlives delivery.
 func (s *System) deliver(c int, pkt *noc.Packet) {
-	switch p := pkt.Payload.(type) {
+	payload := pkt.Payload
+	s.net.Release(pkt)
+	switch p := payload.(type) {
 	case *memTxn:
 		if p.done != nil { // fire-and-forget write-backs carry no waiter
 			p.done()
@@ -448,13 +469,12 @@ func (s *System) deliver(c int, pkt *noc.Packet) {
 		// Serve the access from this endpoint's local memory, then send
 		// the data (or ack) back over the same network.
 		s.netAccess(p.owner, p.loc, p.write, p.atomic, s.gpuLineFlits, false, func() {
-			resp := &noc.Packet{
-				Class:   noc.ClassResponse,
-				SrcTerm: s.terms[p.owner], SrcRouter: -1,
-				DstTerm: p.originTerm, DstRouter: -1,
-				Size: p.respFlits, Inter: -1,
-				Payload: &peerResp{done: p.done},
-			}
+			resp := s.net.NewPacket()
+			resp.Class = noc.ClassResponse
+			resp.SrcTerm = s.terms[p.owner]
+			resp.DstTerm = p.originTerm
+			resp.Size = p.respFlits
+			resp.Payload = &peerResp{done: p.done}
 			s.net.Send(resp)
 		})
 	case *peerResp:
@@ -478,7 +498,7 @@ func (s *System) netAccess(src int, loc mem.Loc, write, atomic bool, lineFlits i
 		respFlits = 2
 	}
 	r := s.routers[loc.Cluster][loc.Local]
-	pkt := noc.NewRequest(0, s.terms[src], r, reqFlits)
+	pkt := s.net.NewRequest(s.terms[src], r, reqFlits)
 	pkt.PassThrough = pass
 	pkt.Payload = &memTxn{
 		loc: loc, write: write, atomic: atomic,
@@ -497,15 +517,14 @@ func (s *System) peerOverNet(src, owner int, loc mem.Loc, write, atomic bool, do
 		reqFlits = 1 + s.gpuLineFlits
 		respFlits = 1
 	}
-	pkt := &noc.Packet{
-		Class:   noc.ClassRequest,
-		SrcTerm: s.terms[src], SrcRouter: -1,
-		DstTerm: s.terms[owner], DstRouter: -1,
-		Size: reqFlits, Inter: -1,
-		Payload: &peerReq{
-			loc: loc, write: write, atomic: atomic, owner: owner,
-			respFlits: respFlits, originTerm: s.terms[src], done: done,
-		},
+	pkt := s.net.NewPacket()
+	pkt.Class = noc.ClassRequest
+	pkt.SrcTerm = s.terms[src]
+	pkt.DstTerm = s.terms[owner]
+	pkt.Size = reqFlits
+	pkt.Payload = &peerReq{
+		loc: loc, write: write, atomic: atomic, owner: owner,
+		respFlits: respFlits, originTerm: s.terms[src], done: done,
 	}
 	s.net.Send(pkt)
 }

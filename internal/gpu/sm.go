@@ -67,9 +67,13 @@ func (s *sm) startCTA(ctx *launchCtx, id int) {
 	g.traceOccupancy()
 	for w := 0; w < warps; w++ {
 		ws := &warpState{sm: s, cta: cta, trace: ctx.kernel.WarpTrace(id, w)}
-		g.eng.After(0, ws.step)
+		g.eng.AfterEvent(0, warpStep, ws)
 	}
 }
+
+// warpStep dispatches a warp's next step on the closure-free event path;
+// the method value w.step would allocate on every reschedule.
+func warpStep(a any) { a.(*warpState).step() }
 
 // step fetches and issues the warp's next instruction.
 func (w *warpState) step() {
@@ -99,7 +103,7 @@ func (w *warpState) step() {
 		g.eng.At(ready, func() { g.spawnChild(ctx, sp) })
 	}
 	if op.Kind == OpCompute || len(op.Addrs) == 0 {
-		g.eng.At(ready, w.step)
+		g.eng.AtEvent(ready, warpStep, w)
 		return
 	}
 	g.eng.At(ready, func() { w.issueMem(op) })
@@ -137,7 +141,7 @@ func (w *warpState) issueMem(op WarpOp) {
 			s.access(w.cta.ctx, a, true, false, nil)
 		}
 		// The warp continues after the stores enter the pipeline.
-		g.eng.After(g.coreClk.Cycles(int64(len(op.Addrs))), w.step)
+		g.eng.AfterEvent(g.coreClk.Cycles(int64(len(op.Addrs))), warpStep, w)
 	case OpAtomic:
 		g.Stats.Atomics.Add(int64(len(op.Addrs)))
 		remaining := len(op.Addrs)

@@ -301,8 +301,12 @@ func (v *vault) kick() {
 	if v.cmdFree > at {
 		at = v.cmdFree
 	}
-	v.h.eng.At(at, v.issue)
+	v.h.eng.AtEvent(at, vaultIssue, v)
 }
+
+// vaultIssue dispatches a vault wakeup on the closure-free event path; the
+// method value v.issue would allocate on every kick.
+func vaultIssue(a any) { a.(*vault).issue() }
 
 // issue picks one request by the scheduling policy and starts it on its
 // bank. The vault data bus serializes column commands at tCCD spacing.

@@ -28,6 +28,7 @@ import (
 func (n *Network) RegisterAudits(reg *audit.Registry) {
 	reg.Register("noc", func(report func(string)) {
 		n.auditFlitConservation(report)
+		n.auditPacketLedger(report)
 		n.auditCredits(report)
 		n.auditVCLegality(report)
 		n.auditVCAllocation(report)
@@ -40,12 +41,12 @@ func (n *Network) RegisterAudits(reg *audit.Registry) {
 func (n *Network) residentFlits() int64 {
 	var k int64
 	for _, c := range n.channels {
-		k += int64(len(c.fifo) + len(c.holdQ))
+		k += int64(c.fifo.Len() + c.holdQ.Len())
 	}
 	for _, r := range n.routers {
 		for _, p := range r.allPorts() {
 			for vi := range p.vcs {
-				k += int64(len(p.vcs[vi].q))
+				k += int64(p.vcs[vi].q.Len())
 			}
 		}
 	}
@@ -73,11 +74,27 @@ func (n *Network) auditFlitConservation(report func(string)) {
 	}
 }
 
+// auditPacketLedger checks the weak packet-pool invariants that hold for
+// every consumer, releasing or not: releases never exceed issues, and every
+// undelivered packet is still live (unreleased). The strict complement —
+// a quiescent system has zero live packets — depends on the consumer's
+// release discipline, so the system layer that enforces one (internal/core)
+// registers it separately.
+func (n *Network) auditPacketLedger(report func(string)) {
+	if n.pktReleased > n.pktIssued {
+		report(fmt.Sprintf("packet ledger: %d released > %d issued", n.pktReleased, n.pktIssued))
+	}
+	if live := n.LivePackets(); live < int64(n.active) {
+		report(fmt.Sprintf("packet ledger: %d live packets < %d active (undelivered packet released)",
+			live, n.active))
+	}
+}
+
 // pendingCredits counts credit returns of vc still traversing channel c.
 func pendingCredits(c *Channel, vc int) int {
 	k := 0
-	for _, cr := range c.credits {
-		if cr.vc == vc {
+	for i := 0; i < c.credits.Len(); i++ {
+		if c.credits.At(i).vc == vc {
 			k++
 		}
 	}
@@ -89,8 +106,8 @@ func pendingCredits(c *Channel, vc int) int {
 // elastic, so they never appear here.
 func creditHoldingInFifo(c *Channel, vc int) int {
 	k := 0
-	for _, it := range c.fifo {
-		if it.vc == vc && !it.f.passChain {
+	for i := 0; i < c.fifo.Len(); i++ {
+		if it := c.fifo.At(i); it.vc == vc && !it.f.passChain {
 			k++
 		}
 	}
@@ -101,8 +118,9 @@ func creditHoldingInFifo(c *Channel, vc int) int {
 // port p; each still holds the slot its sender's credit paid for.
 func creditHoldingBuffered(p *inPort, vc int) int {
 	k := 0
-	for _, bf := range p.vcs[vc].q {
-		if !bf.elastic {
+	q := &p.vcs[vc].q
+	for i := 0; i < q.Len(); i++ {
+		if !q.At(i).elastic {
 			k++
 		}
 	}
@@ -115,7 +133,7 @@ func (n *Network) auditCredits(report func(string)) {
 	}
 	var pending int64
 	for _, c := range n.channels {
-		pending += int64(len(c.credits))
+		pending += int64(c.credits.Len())
 	}
 	if pending != n.creditsInFlight {
 		report(fmt.Sprintf("credit ledger: %d credits on channels, counter says %d",
@@ -172,13 +190,15 @@ func (n *Network) legalVC(vc int, pkt *Packet, elastic bool) bool {
 
 func (n *Network) auditVCLegality(report func(string)) {
 	for _, c := range n.channels {
-		for _, it := range c.fifo {
+		for i := 0; i < c.fifo.Len(); i++ {
+			it := c.fifo.At(i)
 			if !n.legalVC(it.vc, it.f.pkt, it.f.passChain) {
 				report(fmt.Sprintf("channel %d carries packet %d (class %d) on illegal vc %d",
 					c.index, it.f.pkt.ID, it.f.pkt.Class, it.vc))
 			}
 		}
-		for _, it := range c.holdQ {
+		for i := 0; i < c.holdQ.Len(); i++ {
+			it := c.holdQ.At(i)
 			if it.vc != n.reservedVC(it.f.pkt.Class) {
 				report(fmt.Sprintf("channel %d holds express flit of packet %d off the reserved vc (vc %d)",
 					c.index, it.f.pkt.ID, it.vc))
@@ -188,7 +208,9 @@ func (n *Network) auditVCLegality(report func(string)) {
 	for _, r := range n.routers {
 		for _, p := range r.allPorts() {
 			for vi := range p.vcs {
-				for _, bf := range p.vcs[vi].q {
+				q := &p.vcs[vi].q
+				for i := 0; i < q.Len(); i++ {
+					bf := q.At(i)
 					if !n.legalVC(vi, bf.f.pkt, bf.elastic) {
 						report(fmt.Sprintf("router %d buffers packet %d (class %d) on illegal vc %d",
 							r.id, bf.f.pkt.ID, bf.f.pkt.Class, vi))

@@ -104,11 +104,11 @@ func TestNetworkAuditDetectsTampering(t *testing.T) {
 	pkt := &Packet{ID: 9999, Class: ClassRequest, SrcTerm: 0, SrcRouter: -1,
 		DstTerm: -1, DstRouter: r.id, Size: 1, Inter: -1}
 	rv := b.Net.reservedVC(ClassRequest)
-	r.in[0].vcs[rv].q = append(r.in[0].vcs[rv].q, bufFlit{f: flit{pkt: pkt}})
+	r.in[0].vcs[rv].q.Push(bufFlit{f: flit{pkt: pkt}})
 	if reg.Check() == 0 {
 		t.Error("illegal reserved-VC occupancy not detected")
 	}
-	r.in[0].vcs[rv].q = nil
+	r.in[0].vcs[rv].q.Pop()
 	reg.Reset()
 	if reg.Check() != 0 {
 		t.Fatalf("restored network still dirty: %v", reg.Violations())

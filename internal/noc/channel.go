@@ -1,5 +1,7 @@
 package noc
 
+import "memnet/internal/pool"
+
 type peerKind int
 
 const (
@@ -31,8 +33,8 @@ type Channel struct {
 	srcRouter, srcPort, srcTerm int
 	dstRouter, dstPort, dstTerm int
 
-	fifo    []channelItem
-	credits []creditItem
+	fifo    pool.Ring[channelItem]
+	credits pool.Ring[creditItem]
 
 	lastSendCycle int64
 	busyCycles    int64
@@ -55,7 +57,7 @@ type Channel struct {
 	// concurrent express packets would interleave inside one VC queue.
 	expressing int
 	// holdQ holds express flits that found the next channel occupied.
-	holdQ []channelItem
+	holdQ pool.Ring[channelItem]
 
 	// Fault state. partner is the index of the opposite direction of this
 	// channel's bidirectional pair (-1 before wiring); link failures always
@@ -94,7 +96,7 @@ func (c *Channel) canSend(cycle int64) bool { return c.lastSendCycle < cycle }
 func (c *Channel) send(cycle int64, f flit, vc int) {
 	c.lastSendCycle = cycle
 	c.busyCycles++
-	c.fifo = append(c.fifo, channelItem{f: f, vc: vc, arrive: cycle + c.latency})
+	c.fifo.Push(channelItem{f: f, vc: vc, arrive: cycle + c.latency})
 }
 
 // sendPass sends a flit with pass-through latency (bypassing SerDes).
@@ -102,12 +104,12 @@ func (c *Channel) sendPass(cycle int64, f flit, vc int, passLat int64) {
 	c.lastSendCycle = cycle
 	c.busyCycles++
 	f.passChain = true
-	c.fifo = append(c.fifo, channelItem{f: f, vc: vc, arrive: cycle + passLat})
+	c.fifo.Push(channelItem{f: f, vc: vc, arrive: cycle + passLat})
 }
 
 func (c *Channel) returnCredit(n *Network, cycle int64, vc int) {
 	n.creditsInFlight++
-	c.credits = append(c.credits, creditItem{vc: vc, arrive: cycle + c.latency})
+	c.credits.Push(creditItem{vc: vc, arrive: cycle + c.latency})
 }
 
 // deliver moves arrived flits into the downstream buffer (or terminal) and
@@ -116,14 +118,12 @@ func (c *Channel) returnCredit(n *Network, cycle int64, vc int) {
 func (c *Channel) deliver(n *Network) {
 	// Drain held express flits first: they have absolute priority on the
 	// channel and must stay in packet order.
-	for len(c.holdQ) > 0 && c.canSend(n.cycle) {
-		it := c.holdQ[0]
-		c.holdQ = c.holdQ[1:]
+	for !c.holdQ.Empty() && c.canSend(n.cycle) {
+		it := c.holdQ.Pop()
 		c.sendPass(n.cycle, it.f, it.vc, int64(n.cfg.PassThrough+n.cfg.WireCycles))
 	}
-	for len(c.credits) > 0 && c.credits[0].arrive <= n.cycle {
-		cr := c.credits[0]
-		c.credits = c.credits[1:]
+	for !c.credits.Empty() && c.credits.Front().arrive <= n.cycle {
+		cr := c.credits.Pop()
 		n.creditsInFlight--
 		if c.srcRouter >= 0 {
 			n.routers[c.srcRouter].out[c.srcPort].credits[cr.vc]++
@@ -131,7 +131,7 @@ func (c *Channel) deliver(n *Network) {
 			n.terminals[c.srcTerm].ports[c.srcPortOnTerm(n)].credits[cr.vc]++
 		}
 	}
-	for len(c.fifo) > 0 && c.fifo[0].arrive <= n.cycle {
+	for !c.fifo.Empty() && c.fifo.Front().arrive <= n.cycle {
 		if c.pendingCorrupt > 0 {
 			// Injected transient error: the link CRC rejects the arriving
 			// flit. Within the retry budget it is NAKed and replayed — the
@@ -141,20 +141,20 @@ func (c *Channel) deliver(n *Network) {
 			// the flit through (detected-but-uncorrected) and the error
 			// burst ends.
 			c.pendingCorrupt--
-			if c.fifo[0].attempts < n.cfg.LinkRetryLimit {
-				c.fifo[0].attempts++
-				c.fifo[0].arrive = n.cycle + 2*c.latency
+			head := c.fifo.Front()
+			if head.attempts < n.cfg.LinkRetryLimit {
+				head.attempts++
+				head.arrive = n.cycle + 2*c.latency
 				c.retries++
 				c.busyCycles++
-				n.noteRetransmit(c, c.fifo[0].f.pkt, c.fifo[0].attempts)
+				n.noteRetransmit(c, head.f.pkt, head.attempts)
 				break
 			}
 			c.retryExhausted++
 			c.pendingCorrupt = 0
-			n.noteRetryExhausted(c, c.fifo[0].f.pkt)
+			n.noteRetryExhausted(c, head.f.pkt)
 		}
-		it := c.fifo[0]
-		c.fifo = c.fifo[1:]
+		it := c.fifo.Pop()
 		if c.dstTerm >= 0 {
 			n.terminals[c.dstTerm].receive(n, c, it)
 			continue
@@ -226,11 +226,11 @@ func (c *Channel) tryExpress(n *Network, it channelItem) bool {
 	// A flit may only bypass the hold queue when it is empty; otherwise it
 	// would overtake earlier held flits and reorder the packet stream.
 	vc := n.reservedVC(pkt.Class)
-	if len(next.holdQ) == 0 && next.canSend(n.cycle) {
+	if next.holdQ.Empty() && next.canSend(n.cycle) {
 		next.sendPass(n.cycle, f, vc, int64(n.cfg.PassThrough+n.cfg.WireCycles))
 	} else {
 		f.passChain = true
-		next.holdQ = append(next.holdQ, channelItem{f: f, vc: vc})
+		next.holdQ.Push(channelItem{f: f, vc: vc})
 	}
 	return true
 }

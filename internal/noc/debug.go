@@ -18,7 +18,7 @@ func (n *Network) DumpState(w io.Writer) {
 		for pi, p := range ports {
 			for vi := range p.vcs {
 				vc := &p.vcs[vi]
-				if len(vc.q) == 0 && !vc.active {
+				if vc.q.Empty() && !vc.active {
 					continue
 				}
 				label := fmt.Sprintf("in%d", pi)
@@ -26,9 +26,9 @@ func (n *Network) DumpState(w io.Writer) {
 					label = "NI"
 				}
 				fmt.Fprintf(w, "router %d %s vc%d: %d flits active=%v outPort=%d outVC=%d",
-					r.id, label, vi, len(vc.q), vc.active, vc.outPort, vc.outVC)
-				if len(vc.q) > 0 {
-					f := vc.q[0]
+					r.id, label, vi, vc.q.Len(), vc.active, vc.outPort, vc.outVC)
+				if !vc.q.Empty() {
+					f := vc.q.Front()
 					fmt.Fprintf(w, " front{pkt=%d idx=%d/%d ready=%d elastic=%v}",
 						f.f.pkt.ID, f.f.idx, f.f.pkt.Size, f.f.readyCycle, f.elastic)
 				}
@@ -42,28 +42,29 @@ func (n *Network) DumpState(w io.Writer) {
 	}
 	for _, c := range n.channels {
 		faulty := c.failed || c.pendingCorrupt > 0 || c.retries > 0 || c.retryExhausted > 0
-		if len(c.fifo) == 0 && len(c.holdQ) == 0 && c.expressing == 0 && len(c.passState) == 0 && !faulty {
+		if c.fifo.Empty() && c.holdQ.Empty() && c.expressing == 0 && len(c.passState) == 0 && !faulty {
 			continue
 		}
 		fmt.Fprintf(w, "channel %d (%d/%d->%d/%d): fifo=%d hold=%d expressing=%d passState=%d",
 			c.index, c.srcRouter, c.srcTerm, c.dstRouter, c.dstTerm,
-			len(c.fifo), len(c.holdQ), c.expressing, len(c.passState))
+			c.fifo.Len(), c.holdQ.Len(), c.expressing, len(c.passState))
 		if faulty {
 			fmt.Fprintf(w, " failed=%v corruptPending=%d retries=%d retryExhausted=%d",
 				c.failed, c.pendingCorrupt, c.retries, c.retryExhausted)
-			if len(c.fifo) > 0 {
+			if !c.fifo.Empty() {
+				front := c.fifo.Front()
 				fmt.Fprintf(w, " front{pkt=%d idx=%d arrive=%d attempts=%d}",
-					c.fifo[0].f.pkt.ID, c.fifo[0].f.idx, c.fifo[0].arrive, c.fifo[0].attempts)
+					front.f.pkt.ID, front.f.idx, front.arrive, front.attempts)
 			}
 		}
 		fmt.Fprintln(w)
 	}
 	for _, t := range n.terminals {
 		for i, p := range t.ports {
-			if p.cur == nil && len(p.q) == 0 {
+			if p.cur == nil && p.q.Empty() {
 				continue
 			}
-			fmt.Fprintf(w, "terminal %d port %d: queued=%d", t.id, i, len(p.q))
+			fmt.Fprintf(w, "terminal %d port %d: queued=%d", t.id, i, p.q.Len())
 			if p.cur != nil {
 				fmt.Fprintf(w, " cur{pkt=%d flit=%d/%d}", p.cur.ID, p.curFlit, p.cur.Size)
 				vc := n.vcIndex(p.cur)

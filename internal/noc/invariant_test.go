@@ -76,8 +76,8 @@ func TestNoResidualBufferedFlits(t *testing.T) {
 	for _, r := range b.Net.routers {
 		for _, p := range r.allPorts() {
 			for vi := range p.vcs {
-				if len(p.vcs[vi].q) != 0 {
-					t.Fatalf("router %d holds %d stale flits", r.id, len(p.vcs[vi].q))
+				if p.vcs[vi].q.Len() != 0 {
+					t.Fatalf("router %d holds %d stale flits", r.id, p.vcs[vi].q.Len())
 				}
 				if p.vcs[vi].active {
 					t.Fatalf("router %d has an active VC after drain", r.id)
@@ -86,7 +86,7 @@ func TestNoResidualBufferedFlits(t *testing.T) {
 		}
 	}
 	for _, c := range b.Net.channels {
-		if len(c.fifo) != 0 || len(c.holdQ) != 0 || c.expressing != 0 {
+		if c.fifo.Len() != 0 || c.holdQ.Len() != 0 || c.expressing != 0 {
 			t.Fatalf("channel %d holds stale state", c.index)
 		}
 	}

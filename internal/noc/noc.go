@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"memnet/internal/obs"
+	"memnet/internal/pool"
 	"memnet/internal/sim"
 	"memnet/internal/stats"
 )
@@ -42,6 +43,13 @@ type Config struct {
 	// injected transient errors; past it the flit is forced through and
 	// counted as retry-exhausted.
 	LinkRetryLimit int
+	// NoPacketPool disables the network's packet free list: released
+	// packets are left to the garbage collector and every NewPacket /
+	// NewRequest / NewResponse heap-allocates. Pooling is on by default
+	// and byte-identical to running without it (the free list is
+	// deterministic and packets are fully reset); the switch exists so
+	// the CI cmp job can prove that equality.
+	NoPacketPool bool
 }
 
 // DefaultConfig returns the paper's network parameters.
@@ -99,6 +107,10 @@ type Packet struct {
 	DeliveredAt sim.Time
 	Hops        int
 	passHops    int // hops taken via pass-through forwarding
+
+	// free marks a packet currently sitting in the network's free list;
+	// it guards against double release and use-after-release.
+	free bool
 }
 
 // NewRequest returns a request packet from terminal t to router (HMC) r.
@@ -112,6 +124,73 @@ func NewResponse(id uint64, r, t, sizeFlits int) *Packet {
 	return &Packet{ID: id, Class: ClassResponse, SrcTerm: -1, SrcRouter: r,
 		DstTerm: t, DstRouter: -1, Size: sizeFlits, Inter: -1}
 }
+
+// NewPacket returns a blank packet in the reset state (no source, no
+// destination, minimal routing, zero timestamps and hop counters), drawn
+// from the network's free list unless pooling is disabled. Callers fill in
+// class, endpoints and size before Send. Together with Release this is the
+// allocation-free path for steady-state traffic; the package-level
+// NewRequest/NewResponse constructors remain for callers that manage
+// packet lifetime themselves.
+func (n *Network) NewPacket() *Packet {
+	p := n.pktPool.Get()
+	*p = Packet{SrcTerm: -1, SrcRouter: -1, DstTerm: -1, DstRouter: -1, Inter: -1}
+	return p
+}
+
+// NewRequest returns a pooled request packet from terminal t to router
+// (HMC) r. Send assigns the ID.
+func (n *Network) NewRequest(t, r, sizeFlits int) *Packet {
+	p := n.NewPacket()
+	p.Class = ClassRequest
+	p.SrcTerm = t
+	p.DstRouter = r
+	p.Size = sizeFlits
+	return p
+}
+
+// NewResponse returns a pooled response packet from router (HMC) r to
+// terminal t. Send assigns the ID.
+func (n *Network) NewResponse(r, t, sizeFlits int) *Packet {
+	p := n.NewPacket()
+	p.Class = ClassResponse
+	p.SrcRouter = r
+	p.DstTerm = t
+	p.Size = sizeFlits
+	return p
+}
+
+// Release returns a delivered packet to the network. Ownership of a packet
+// passes to the consumer (RouterSink or Terminal.OnDeliver) at delivery;
+// the consumer calls Release when it is done with the packet — immediately
+// in the sink, or later if it legitimately retains the packet (the
+// synthetic driver holds each request until its response returns). Release
+// always clears the payload reference, pooled or not, so completed
+// requests never pin their transactions; with pooling enabled the packet
+// is additionally recycled for a later NewPacket. Releasing is optional —
+// an unreleased packet is simply garbage collected — but required for the
+// allocation-free steady state. Releasing the same packet twice, or a
+// packet still in flight, panics: a recycled-while-live packet would
+// silently corrupt two transactions at once.
+func (n *Network) Release(pkt *Packet) {
+	if pkt.free {
+		panic(fmt.Sprintf("noc: packet %d released twice", pkt.ID))
+	}
+	if pkt.DeliveredAt == 0 && pkt.CreatedAt != 0 {
+		panic(fmt.Sprintf("noc: packet %d released while undelivered", pkt.ID))
+	}
+	n.pktReleased++
+	*pkt = Packet{free: true}
+	if n.cfg.NoPacketPool {
+		return
+	}
+	n.pktPool.Put(pkt)
+}
+
+// LivePackets returns the number of packets issued to the network (Send)
+// and not yet released — the free-list ledger the audit layer checks
+// against the undelivered-packet count.
+func (n *Network) LivePackets() int64 { return n.pktIssued - n.pktReleased }
 
 // flit is the unit of flow control.
 type flit struct {
@@ -163,6 +242,14 @@ type Network struct {
 	// flits resident in channel FIFOs and router buffers.
 	flitsInjected int64
 	flitsRetired  int64
+
+	// Packet free list and its ledger: every packet issued through Send
+	// must eventually be released by its consumer; issued - released is
+	// the live-packet count the audit layer checks (a live packet is
+	// either undelivered or legitimately held by a consumer).
+	pktPool     pool.FreeList[Packet]
+	pktIssued   int64
+	pktReleased int64
 
 	Stats Stats
 
@@ -341,6 +428,9 @@ func (n *Network) Send(pkt *Packet) {
 	if n.routes == nil {
 		panic("noc: Send before Finalize")
 	}
+	if pkt.free {
+		panic("noc: Send of a released packet")
+	}
 	if pkt.ID == 0 {
 		n.nextAutoID++
 		pkt.ID = n.nextAutoID
@@ -351,6 +441,7 @@ func (n *Network) Send(pkt *Packet) {
 	if pkt.Size <= 0 {
 		panic("noc: packet with no flits")
 	}
+	n.pktIssued++
 	// Traffic accounting (the Fig. 10 matrix): flits exchanged between a
 	// terminal and an HMC, both directions.
 	if pkt.SrcTerm >= 0 && pkt.DstRouter >= 0 {
@@ -371,6 +462,11 @@ func (n *Network) Send(pkt *Packet) {
 
 // Quiescent reports whether no flits or packets are in flight.
 func (n *Network) Quiescent() bool { return n.active == 0 }
+
+// FlitsInjected returns the total flits that have entered the network
+// (terminal injection and NI enqueue) since construction. The matching
+// retire count is FlitsRetired (fault.go).
+func (n *Network) FlitsInjected() int64 { return n.flitsInjected }
 
 // step advances the network one cycle. Order within a cycle:
 //  1. channel arrivals (flits into buffers / terminals, credits back,

@@ -1,6 +1,10 @@
 package noc
 
-import "fmt"
+import (
+	"fmt"
+
+	"memnet/internal/pool"
+)
 
 // ejectPort is the virtual output for packets whose destination is this
 // router (delivery into the HMC's vault controllers).
@@ -11,8 +15,14 @@ type bufFlit struct {
 	elastic bool // arrived via pass-through express: no credit was reserved
 }
 
+// inVC is one input virtual-channel buffer. The queue is a ring: in steady
+// state a flit-hop performs one Push and one Pop with no slice growth —
+// the seed's append + q[1:] idiom reallocated the backing array every
+// BufFlitsPerVC flits. Credited traffic is bounded by BufFlitsPerVC; the
+// ring only grows past that for elastic flits (NI injection, overlay
+// express), and then stabilizes at the high-water mark.
 type inVC struct {
-	q       []bufFlit
+	q       pool.Ring[bufFlit]
 	active  bool
 	outPort int
 	outVC   int
@@ -21,6 +31,11 @@ type inVC struct {
 type inPort struct {
 	ch  *Channel // incoming channel; nil for the local (NI) port
 	vcs []inVC
+
+	// occupied counts VCs with a non-empty buffer, letting the per-cycle
+	// allocation and traversal loops skip idle ports without scanning
+	// every VC.
+	occupied int
 }
 
 type outPort struct {
@@ -45,6 +60,11 @@ type Router struct {
 	out []*outPort
 	ni  *inPort
 
+	// ports caches in + ni (NI last); switchTraversal and allocate walk it
+	// every cycle, so it is rebuilt once per addPort instead of being
+	// reassembled (one allocation) per call.
+	ports []*inPort
+
 	used []bool // per (input port + NI) single-read-per-cycle gate
 
 	niSerial int64 // next free NI injection cycle (1 flit/cycle)
@@ -58,6 +78,7 @@ type Router struct {
 func newRouter(n *Network, id int) *Router {
 	r := &Router{id: id, net: n}
 	r.ni = &inPort{vcs: make([]inVC, n.totalVCs())}
+	r.ports = []*inPort{r.ni}
 	return r
 }
 
@@ -77,11 +98,11 @@ func (r *Router) BufferedFlits() int {
 	n := 0
 	for _, p := range r.in {
 		for vi := range p.vcs {
-			n += len(p.vcs[vi].q)
+			n += p.vcs[vi].q.Len()
 		}
 	}
 	for vi := range r.ni.vcs {
-		n += len(r.ni.vcs[vi].q)
+		n += r.ni.vcs[vi].q.Len()
 	}
 	return n
 }
@@ -97,6 +118,7 @@ func (r *Router) addPort(out, in *Channel, peer peerKind, peerID int) int {
 	r.out = append(r.out, &outPort{ch: out, peer: peer, peerID: peerID,
 		credits: cr, vcBusy: make([]bool, r.net.totalVCs())})
 	r.in = append(r.in, &inPort{ch: in, vcs: make([]inVC, r.net.totalVCs())})
+	r.ports = append(append(r.ports[:0:0], r.in...), r.ni)
 	return idx
 }
 
@@ -105,7 +127,16 @@ func (r *Router) receive(n *Network, port int, it channelItem) {
 	f := it.f
 	f.readyCycle = n.cycle + int64(n.cfg.RouterPipeline)
 	p := r.in[port]
-	p.vcs[it.vc].q = append(p.vcs[it.vc].q, bufFlit{f: f, elastic: it.f.passChain})
+	vc := &p.vcs[it.vc]
+	if vc.q.Empty() {
+		p.occupied++
+		// Credit flow control bounds a channel-facing input VC at the
+		// configured buffer depth; sizing the ring to that bound on first
+		// use (a no-op afterwards) removes the last allocation from the
+		// saturated steady state without inflating topology construction.
+		vc.q.Grow(n.cfg.BufFlitsPerVC)
+	}
+	vc.q.Push(bufFlit{f: f, elastic: it.f.passChain})
 }
 
 // enqueueLocal injects a locally generated packet (an HMC response) through
@@ -116,20 +147,19 @@ func (r *Router) enqueueLocal(pkt *Packet) {
 	if r.niSerial > start {
 		start = r.niSerial
 	}
+	if r.ni.vcs[vc].q.Empty() {
+		r.ni.occupied++
+	}
 	for i := 0; i < pkt.Size; i++ {
 		f := flit{pkt: pkt, idx: i, readyCycle: start + int64(i)}
-		r.ni.vcs[vc].q = append(r.ni.vcs[vc].q, bufFlit{f: f, elastic: true})
+		r.ni.vcs[vc].q.Push(bufFlit{f: f, elastic: true})
 	}
 	r.net.flitsInjected += int64(pkt.Size)
 	r.niSerial = start + int64(pkt.Size)
 }
 
-// allPorts iterates input ports with the NI port last.
-func (r *Router) allPorts() []*inPort {
-	ports := make([]*inPort, 0, len(r.in)+1)
-	ports = append(ports, r.in...)
-	return append(ports, r.ni)
-}
+// allPorts returns the input ports with the NI port last.
+func (r *Router) allPorts() []*inPort { return r.ports }
 
 // switchTraversal performs ejection and switch allocation/traversal for one
 // cycle: at most one flit leaves each input port, one flit enters each
@@ -151,19 +181,22 @@ func (r *Router) switchTraversal(n *Network) {
 		if budget == 0 {
 			break
 		}
-		if used[pi] {
+		if used[pi] || p.occupied == 0 {
 			continue
 		}
 		for vi := range p.vcs {
 			vc := &p.vcs[vi]
-			if !vc.active || vc.outPort != ejectPort || len(vc.q) == 0 {
+			if !vc.active || vc.outPort != ejectPort || vc.q.Empty() {
 				continue
 			}
-			bf := vc.q[0]
+			bf := *vc.q.Front()
 			if bf.f.readyCycle > n.cycle {
 				continue
 			}
-			vc.q = vc.q[1:]
+			vc.q.Pop()
+			if vc.q.Empty() {
+				p.occupied--
+			}
 			used[pi] = true
 			budget--
 			n.flitsRetired++
@@ -178,31 +211,62 @@ func (r *Router) switchTraversal(n *Network) {
 		}
 	}
 
-	// Switch allocation per output port, round-robin over (port, vc).
-	total := nPorts * n.totalVCs()
+	// Switch allocation per output port, round-robin over (port, vc). The
+	// scan visits (port, vc) pairs in the same order as the naive
+	//
+	//	for k := 0..total-1 { idx := (rr+k) %% total; pi, vi := idx / nVCs, idx %% nVCs }
+	//
+	// loop but walks the pair incrementally (no div/mod per step) and skips
+	// a port's remaining VCs wholesale once the port is used this cycle or
+	// holds no buffered flits — the grant sequence is bit-identical.
+	nVCs := n.totalVCs()
+	total := nPorts * nVCs
 	for oi, op := range r.out {
 		if !op.ch.canSend(n.cycle) {
 			continue
 		}
-		for k := 0; k < total; k++ {
-			idx := (op.rr + k) % total
-			pi := idx / n.totalVCs()
-			vi := idx % n.totalVCs()
-			if used[pi] {
+		rr := op.rr % total
+		pi := rr / nVCs
+		vi := rr - pi*nVCs
+		for k := 0; k < total; {
+			p := ports[pi]
+			if used[pi] || p.occupied == 0 {
+				k += nVCs - vi
+				vi = 0
+				if pi++; pi == nPorts {
+					pi = 0
+				}
 				continue
 			}
-			vc := &ports[pi].vcs[vi]
-			if !vc.active || vc.outPort != oi || len(vc.q) == 0 {
+			vc := &p.vcs[vi]
+			if !vc.active || vc.outPort != oi || vc.q.Empty() {
+				k++
+				if vi++; vi == nVCs {
+					vi = 0
+					if pi++; pi == nPorts {
+						pi = 0
+					}
+				}
 				continue
 			}
-			bf := vc.q[0]
+			bf := *vc.q.Front()
 			if bf.f.readyCycle > n.cycle || op.credits[vc.outVC] <= 0 {
+				k++
+				if vi++; vi == nVCs {
+					vi = 0
+					if pi++; pi == nPorts {
+						pi = 0
+					}
+				}
 				continue
 			}
-			vc.q = vc.q[1:]
+			vc.q.Pop()
+			if vc.q.Empty() {
+				p.occupied--
+			}
 			used[pi] = true
-			if !bf.elastic && ports[pi].ch != nil {
-				ports[pi].ch.returnCredit(n, n.cycle, vi)
+			if !bf.elastic && p.ch != nil {
+				p.ch.returnCredit(n, n.cycle, vi)
 			}
 			if bf.f.head() && op.peer == peerRouter {
 				bf.f.pkt.Hops++
@@ -215,7 +279,10 @@ func (r *Router) switchTraversal(n *Network) {
 				vc.active = false
 				op.vcBusy[vc.outVC] = false
 			}
-			op.rr = (idx + 1) % total
+			op.rr = pi*nVCs + vi + 1
+			if op.rr == total {
+				op.rr = 0
+			}
 			break
 		}
 	}
@@ -228,12 +295,15 @@ func (r *Router) allocate(n *Network) {
 	offset := int(n.cycle) % len(ports) // rotate priority across cycles
 	for i := range ports {
 		p := ports[(i+offset)%len(ports)]
+		if p.occupied == 0 {
+			continue
+		}
 		for vi := range p.vcs {
 			vc := &p.vcs[vi]
-			if vc.active || len(vc.q) == 0 {
+			if vc.active || vc.q.Empty() {
 				continue
 			}
-			bf := vc.q[0]
+			bf := vc.q.Front()
 			if !bf.f.head() || bf.f.readyCycle > n.cycle {
 				continue
 			}

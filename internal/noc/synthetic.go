@@ -113,7 +113,7 @@ func RunSynthetic(spec TopoSpec, netCfg Config, syn SyntheticConfig, injectionRa
 	measuring := false
 
 	n.RouterSink = func(r int, pkt *Packet) {
-		resp := NewResponse(0, r, pkt.SrcTerm, syn.RespFlits)
+		resp := n.NewResponse(r, pkt.SrcTerm, syn.RespFlits)
 		resp.Payload = pkt // carry the request for round-trip accounting
 		n.Send(resp)
 		if measuring {
@@ -123,13 +123,16 @@ func RunSynthetic(spec TopoSpec, netCfg Config, syn SyntheticConfig, injectionRa
 	for i := 0; i < n.NumTerminals(); i++ {
 		n.Terminal(i).OnDeliver = func(resp *Packet) {
 			req := resp.Payload.(*Packet)
-			if !measuring {
-				return
+			if measuring {
+				deliveredFlits += int64(resp.Size)
+				measuredPkts++
+				measuredLat += float64(resp.DeliveredAt-req.CreatedAt) / float64(n.Clock().Period())
+				measuredHops += float64(req.Hops + resp.Hops)
 			}
-			deliveredFlits += int64(resp.Size)
-			measuredPkts++
-			measuredLat += float64(resp.DeliveredAt-req.CreatedAt) / float64(n.Clock().Period())
-			measuredHops += float64(req.Hops + resp.Hops)
+			// The round trip is complete and fully accounted; both packets
+			// go back to the free list.
+			n.Release(req)
+			n.Release(resp)
 		}
 	}
 
@@ -152,24 +155,20 @@ func RunSynthetic(spec TopoSpec, netCfg Config, syn SyntheticConfig, injectionRa
 	}
 
 	// Bernoulli injection per terminal per cycle, paced by an injector
-	// process per terminal.
-	period := n.Clock().Period()
-	perCycleP := injectionRate / float64(syn.ReqFlits)
-	totalCyc := syn.WarmupCyc + syn.MeasureCyc
-	var inject func(term int, cycle int64)
-	inject = func(term int, cycle int64) {
-		if cycle >= totalCyc {
-			return
-		}
-		if rng.Float64() < perCycleP {
-			n.Send(NewRequest(0, b.Terms[term], dest(term), syn.ReqFlits))
-		}
-		eng.After(period, func() { inject(term, cycle+1) })
+	// process per terminal on the closure-free event path (the seed's
+	// closure chain allocated one closure per terminal per cycle).
+	inj := &synInjector{
+		n: n, eng: eng, terms: b.Terms, dest: dest, rng: rng,
+		period:   n.Clock().Period(),
+		perCycle: injectionRate / float64(syn.ReqFlits),
+		reqFlits: syn.ReqFlits,
+		totalCyc: syn.WarmupCyc + syn.MeasureCyc,
 	}
 	for ti := range b.Terms {
-		ti := ti
-		eng.At(sim.Time(ti%7), func() { inject(ti, 0) })
+		eng.AtEvent(sim.Time(ti%7), synInjectStep, &synTermInjector{inj: inj, term: ti})
 	}
+	period := inj.period
+	totalCyc := inj.totalCyc
 	eng.At(sim.Time(syn.WarmupCyc)*period, func() { measuring = true })
 	eng.At(sim.Time(totalCyc)*period, func() { measuring = false })
 	eng.RunUntil(sim.Time(totalCyc+syn.DrainCycMax) * period)
@@ -182,6 +181,40 @@ func RunSynthetic(spec TopoSpec, netCfg Config, syn SyntheticConfig, injectionRa
 	lp.Throughput = float64(acceptedFlits) / float64(syn.MeasureCyc) / float64(n.NumTerminals())
 	lp.RTThroughput = float64(deliveredFlits) / float64(syn.MeasureCyc) / float64(n.NumTerminals())
 	return lp, nil
+}
+
+// synInjector is the per-run state shared by all terminal injectors; a
+// synTermInjector is the per-terminal schedulable unit, stepped through the
+// typed-event path so steady-state injection allocates nothing.
+type synInjector struct {
+	n        *Network
+	eng      *sim.Engine
+	terms    []int
+	dest     func(int) int
+	rng      *rand.Rand
+	period   sim.Time
+	perCycle float64
+	reqFlits int
+	totalCyc int64
+}
+
+type synTermInjector struct {
+	inj   *synInjector
+	term  int
+	cycle int64
+}
+
+func synInjectStep(a any) {
+	ti := a.(*synTermInjector)
+	s := ti.inj
+	if ti.cycle >= s.totalCyc {
+		return
+	}
+	if s.rng.Float64() < s.perCycle {
+		s.n.Send(s.n.NewRequest(s.terms[ti.term], s.dest(ti.term), s.reqFlits))
+	}
+	ti.cycle++
+	s.eng.AfterEvent(s.period, synInjectStep, ti)
 }
 
 // LoadSweep runs RunSynthetic over the given injection rates.

@@ -1,6 +1,10 @@
 package noc
 
-import "fmt"
+import (
+	"fmt"
+
+	"memnet/internal/pool"
+)
 
 // termPort is one channel-pair attachment between a terminal and a router.
 type termPort struct {
@@ -8,15 +12,15 @@ type termPort struct {
 	fromRouter *Channel
 	router     int
 	credits    []int
-	q          []*Packet // packets assigned to this attachment
+	q          pool.Ring[*Packet] // packets assigned to this attachment
 	cur        *Packet
 	curFlit    int
 }
 
 func (p *termPort) queuedFlits() int {
 	n := 0
-	for _, pkt := range p.q {
-		n += pkt.Size
+	for i := 0; i < p.q.Len(); i++ {
+		n += (*p.q.At(i)).Size
 	}
 	if p.cur != nil {
 		n += p.cur.Size - p.curFlit
@@ -82,7 +86,7 @@ func (t *Terminal) enqueue(pkt *Packet) {
 		target = pkt.Inter
 	}
 	best := t.bestPort(pkt, target)
-	t.ports[best].q = append(t.ports[best].q, pkt)
+	t.ports[best].q.Push(pkt)
 }
 
 // bestPort returns the attachment index with minimal distance to the
@@ -156,11 +160,10 @@ func (t *Terminal) ugalDecision(pkt *Packet) {
 func (t *Terminal) inject(n *Network) {
 	for _, p := range t.ports {
 		if p.cur == nil {
-			if len(p.q) == 0 {
+			if p.q.Empty() {
 				continue
 			}
-			p.cur = p.q[0]
-			p.q = p.q[1:]
+			p.cur = p.q.Pop()
 			p.curFlit = 0
 		}
 		vc := n.vcIndex(p.cur) // hop count 0: lowest VC of the class

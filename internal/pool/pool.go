@@ -1,0 +1,137 @@
+// Package pool provides the deterministic allocation-free building blocks
+// used by the simulator's hot paths: a LIFO free list for recycling heap
+// objects (packets), and a growable power-of-two ring buffer that replaces
+// the append + q[1:] slice-queue idiom (whose backing array crawls forward
+// and reallocates indefinitely) with a buffer that stabilizes at the
+// queue's high-water mark.
+//
+// Everything here is single-threaded by design: each simulated system owns
+// its own pools, so unlike sync.Pool there is no locking, entries are
+// never dropped under GC pressure, and reuse order is a pure function of
+// the Get/Put sequence — a pooled run executes byte-identically to an
+// unpooled one.
+package pool
+
+// FreeList is a deterministic last-in-first-out free list of *T.
+type FreeList[T any] struct {
+	free []*T
+
+	news int64 // fresh heap allocations (list was empty)
+	gets int64 // total Get calls
+	puts int64 // total Put calls
+}
+
+// Get returns a recycled *T, or a freshly allocated one when the list is
+// empty. Recycled values are returned exactly as Put received them;
+// resetting state before Put is the caller's contract.
+func (p *FreeList[T]) Get() *T {
+	p.gets++
+	if k := len(p.free) - 1; k >= 0 {
+		x := p.free[k]
+		p.free[k] = nil // release the reference; the slot may idle for long
+		p.free = p.free[:k]
+		return x
+	}
+	p.news++
+	return new(T)
+}
+
+// Put recycles x for a later Get. Putting the same pointer twice without
+// an intervening Get corrupts the pool (two callers would share one
+// object); the packet layer guards against that with its own ledger.
+func (p *FreeList[T]) Put(x *T) {
+	p.puts++
+	p.free = append(p.free, x)
+}
+
+// Len returns the number of entries currently free.
+func (p *FreeList[T]) Len() int { return len(p.free) }
+
+// Stats returns lifetime counters: fresh allocations, gets and puts.
+// gets - puts is the number of objects currently checked out (live).
+func (p *FreeList[T]) Stats() (news, gets, puts int64) {
+	return p.news, p.gets, p.puts
+}
+
+// ringMinCap is the smallest backing buffer a ring allocates.
+const ringMinCap = 8
+
+// Ring is a FIFO queue over a power-of-two circular buffer. The zero value
+// is an empty ring; the buffer is allocated on first use (or by Grow) and
+// doubles when full, so in steady state Push and Pop never allocate.
+type Ring[T any] struct {
+	buf  []T // len(buf) is always 0 or a power of two
+	head int // index of the front item
+	n    int // items in the queue
+}
+
+// Len returns the number of queued items.
+func (r *Ring[T]) Len() int { return r.n }
+
+// Empty reports whether the ring holds no items.
+func (r *Ring[T]) Empty() bool { return r.n == 0 }
+
+// Grow ensures capacity for at least k items without further allocation.
+func (r *Ring[T]) Grow(k int) {
+	if k > len(r.buf) {
+		r.realloc(k)
+	}
+}
+
+// Push appends v at the tail.
+func (r *Ring[T]) Push(v T) {
+	if r.n == len(r.buf) {
+		r.realloc(r.n + 1)
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = v
+	r.n++
+}
+
+// Pop removes and returns the front item. The vacated slot is zeroed so
+// popped values do not pin their references (packets, payloads) inside the
+// buffer. It panics on an empty ring.
+func (r *Ring[T]) Pop() T {
+	if r.n == 0 {
+		panic("pool: Pop on empty ring")
+	}
+	var zero T
+	v := r.buf[r.head]
+	r.buf[r.head] = zero
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return v
+}
+
+// Front returns a pointer to the front item, valid until the next Push or
+// Pop. It panics on an empty ring.
+func (r *Ring[T]) Front() *T {
+	if r.n == 0 {
+		panic("pool: Front on empty ring")
+	}
+	return &r.buf[r.head]
+}
+
+// At returns a pointer to the i-th item from the front (0 = front), valid
+// until the next Push or Pop. Used by the audit and debug layers to walk
+// queue contents in order.
+func (r *Ring[T]) At(i int) *T {
+	if i < 0 || i >= r.n {
+		panic("pool: At out of range")
+	}
+	return &r.buf[(r.head+i)&(len(r.buf)-1)]
+}
+
+// realloc moves the queue into a fresh power-of-two buffer holding at
+// least k items, rebasing the head to zero.
+func (r *Ring[T]) realloc(k int) {
+	cap := ringMinCap
+	for cap < k {
+		cap <<= 1
+	}
+	buf := make([]T, cap)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = buf
+	r.head = 0
+}

@@ -1,0 +1,144 @@
+package pool
+
+import "testing"
+
+func TestFreeListReusesLIFO(t *testing.T) {
+	var p FreeList[int]
+	a, b := p.Get(), p.Get()
+	if a == b {
+		t.Fatal("two live Gets returned the same pointer")
+	}
+	p.Put(a)
+	p.Put(b)
+	if got := p.Get(); got != b {
+		t.Fatal("Get did not return the most recently Put pointer")
+	}
+	if got := p.Get(); got != a {
+		t.Fatal("second Get did not return the earlier Put pointer")
+	}
+	news, gets, puts := p.Stats()
+	if news != 2 || gets != 4 || puts != 2 {
+		t.Fatalf("stats = (%d, %d, %d), want (2, 4, 2)", news, gets, puts)
+	}
+	if p.Len() != 0 {
+		t.Fatalf("free list length = %d, want 0", p.Len())
+	}
+}
+
+func TestFreeListGetAllocatesWhenEmpty(t *testing.T) {
+	var p FreeList[int]
+	if p.Get() == nil {
+		t.Fatal("Get on empty list returned nil")
+	}
+	news, _, _ := p.Stats()
+	if news != 1 {
+		t.Fatalf("news = %d, want 1", news)
+	}
+}
+
+func TestRingFIFOOrderAcrossWraps(t *testing.T) {
+	var r Ring[int]
+	next, want := 0, 0
+	// Interleave pushes and pops so the head crosses the buffer boundary
+	// many times at several occupancies.
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 3+round%5; i++ {
+			r.Push(next)
+			next++
+		}
+		for i := 0; i < 2+round%4 && !r.Empty(); i++ {
+			if got := r.Pop(); got != want {
+				t.Fatalf("Pop = %d, want %d", got, want)
+			}
+			want++
+		}
+	}
+	for !r.Empty() {
+		if got := r.Pop(); got != want {
+			t.Fatalf("drain Pop = %d, want %d", got, want)
+		}
+		want++
+	}
+	if want != next {
+		t.Fatalf("popped %d items, pushed %d", want, next)
+	}
+}
+
+func TestRingGrowPreservesOrder(t *testing.T) {
+	var r Ring[int]
+	// Offset the head so growth has to unwrap a wrapped queue.
+	for i := 0; i < 5; i++ {
+		r.Push(-1)
+	}
+	for i := 0; i < 5; i++ {
+		r.Pop()
+	}
+	for i := 0; i < 100; i++ { // forces several reallocations
+		r.Push(i)
+	}
+	if r.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", r.Len())
+	}
+	if *r.Front() != 0 {
+		t.Fatalf("Front = %d, want 0", *r.Front())
+	}
+	for i := 0; i < 100; i++ {
+		if got := *r.At(i); got != i {
+			t.Fatalf("At(%d) = %d, want %d", i, got, i)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if got := r.Pop(); got != i {
+			t.Fatalf("Pop = %d, want %d", got, i)
+		}
+	}
+}
+
+func TestRingSteadyStateDoesNotAllocate(t *testing.T) {
+	var r Ring[int]
+	r.Grow(64)
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 60; i++ {
+			r.Push(i)
+		}
+		for i := 0; i < 60; i++ {
+			r.Pop()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state ring churn allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestRingPopZeroesSlot(t *testing.T) {
+	var r Ring[*int]
+	v := new(int)
+	r.Push(v)
+	if got := r.Pop(); got != v {
+		t.Fatal("Pop returned wrong value")
+	}
+	// The vacated slot must not pin the popped pointer.
+	for i := range r.buf {
+		if r.buf[i] != nil {
+			t.Fatal("Pop left a live reference in the buffer")
+		}
+	}
+}
+
+func TestRingPanicsOnEmpty(t *testing.T) {
+	for name, f := range map[string]func(*Ring[int]){
+		"Pop":   func(r *Ring[int]) { r.Pop() },
+		"Front": func(r *Ring[int]) { r.Front() },
+		"At":    func(r *Ring[int]) { r.At(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on empty ring did not panic", name)
+				}
+			}()
+			var r Ring[int]
+			f(&r)
+		}()
+	}
+}

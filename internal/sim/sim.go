@@ -27,11 +27,22 @@ const (
 // Infinity is a timestamp later than any reachable simulation time.
 const Infinity Time = 1<<63 - 1
 
+// event is one scheduled callback. Events are stored by value in the heap
+// as an (fn, arg) pair: the closure-free fast path (AtEvent/AfterEvent)
+// passes a shared top-level function plus a pointer-shaped argument, so
+// scheduling allocates nothing; the closure path (At/After) routes through
+// runClosure with the closure itself as the argument — func values are
+// pointer-shaped, so the interface conversion does not allocate either and
+// the only cost is the closure the caller already built.
 type event struct {
 	at  Time
 	seq uint64
-	fn  func()
+	fn  func(any)
+	arg any
 }
+
+// runClosure adapts the closure API onto the (fn, arg) representation.
+func runClosure(a any) { a.(func())() }
 
 // before orders events by timestamp, then by scheduling order. The seq
 // tiebreak makes the order a total one, so heap shape never leaks into
@@ -120,11 +131,7 @@ func (e *Engine) Now() Time { return e.now }
 // a past event would break the monotonicity the heap's determinism
 // contract assumes.
 func (e *Engine) At(t Time, fn func()) {
-	if t < e.now {
-		panic(fmt.Sprintf("sim: event scheduled in the past (at=%d ps, now=%d ps)", t, e.now))
-	}
-	e.seq++
-	e.events.push(event{at: t, seq: e.seq, fn: fn})
+	e.AtEvent(t, runClosure, fn)
 }
 
 // After schedules fn to run d picoseconds from now. Negative delays panic:
@@ -133,7 +140,31 @@ func (e *Engine) After(d Time, fn func()) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: After with negative delay %d ps (now=%d ps)", d, e.now))
 	}
-	e.At(e.now+d, fn)
+	e.AtEvent(e.now+d, runClosure, fn)
+}
+
+// AtEvent schedules fn(arg) at absolute time t — the closure-free fast
+// path. fn is typically a shared top-level function and arg the component
+// it operates on; with a pointer-shaped arg (pointer, func, map, channel)
+// scheduling performs zero allocations, unlike At, whose callers almost
+// always build a fresh closure or method value per call. Events scheduled
+// through AtEvent and At interleave in one total order (timestamp, then
+// scheduling sequence). Scheduling in the past panics, as with At.
+func (e *Engine) AtEvent(t Time, fn func(any), arg any) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: event scheduled in the past (at=%d ps, now=%d ps)", t, e.now))
+	}
+	e.seq++
+	e.events.push(event{at: t, seq: e.seq, fn: fn, arg: arg})
+}
+
+// AfterEvent schedules fn(arg) d picoseconds from now on the closure-free
+// fast path. Negative delays panic, as with After.
+func (e *Engine) AfterEvent(d Time, fn func(any), arg any) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: AfterEvent with negative delay %d ps (now=%d ps)", d, e.now))
+	}
+	e.AtEvent(e.now+d, fn, arg)
 }
 
 // Pending reports the number of scheduled events.
@@ -153,7 +184,7 @@ func (e *Engine) Step() bool {
 		panic(fmt.Sprintf("sim: time moved backwards (event at %d ps, now=%d ps)", ev.at, e.now))
 	}
 	e.now = ev.at
-	ev.fn()
+	ev.fn(ev.arg)
 	return true
 }
 
@@ -251,6 +282,12 @@ func NewTicker(eng *Engine, clk Clock, tick func() bool) *Ticker {
 	return &Ticker{eng: eng, clk: clk, tick: tick}
 }
 
+// tickerRun dispatches a ticker edge through the closure-free event path,
+// so the per-cycle reschedule of every clocked component (the NoC above
+// all) allocates nothing — the method value t.run would cost one
+// allocation per wake.
+func tickerRun(a any) { a.(*Ticker).run() }
+
 // Wake schedules the next tick on the upcoming clock edge if the ticker is
 // not already scheduled. Safe to call redundantly; duplicate wakes coalesce.
 func (t *Ticker) Wake() {
@@ -265,7 +302,7 @@ func (t *Ticker) Wake() {
 		// start of a cycle, so work created mid-cycle starts next cycle.
 		edge += t.clk.Period()
 	}
-	t.eng.At(edge, t.run)
+	t.eng.AtEvent(edge, tickerRun, t)
 }
 
 func (t *Ticker) run() {

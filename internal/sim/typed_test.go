@@ -1,0 +1,97 @@
+package sim
+
+import "testing"
+
+// TestTypedAndClosureEventsShareOneOrder verifies AtEvent and At interleave
+// in scheduling order at equal timestamps.
+func TestTypedAndClosureEventsShareOneOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	record := func(a any) { got = append(got, *a.(*int)) }
+	v1, v3 := 1, 3
+	e.AtEvent(10, record, &v1)
+	e.At(10, func() { got = append(got, 2) })
+	e.AtEvent(10, record, &v3)
+	e.At(5, func() { got = append(got, 0) })
+	e.Run()
+	want := []int{0, 1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAtEventPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AtEvent in the past did not panic")
+		}
+	}()
+	e.AtEvent(50, func(any) {}, nil)
+}
+
+func TestAfterEventNegativePanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AfterEvent with negative delay did not panic")
+		}
+	}()
+	e.AfterEvent(-1, func(any) {}, nil)
+}
+
+// TestTypedEventPathDoesNotAllocate pins the closure-free fast path at zero
+// allocations per schedule+dispatch once the event heap has reached its
+// high-water mark.
+func TestTypedEventPathDoesNotAllocate(t *testing.T) {
+	e := NewEngine()
+	type node struct{ hits int }
+	n := &node{}
+	bump := func(a any) { a.(*node).hits++ }
+	// Warm the heap's backing array.
+	for i := 0; i < 1024; i++ {
+		e.AtEvent(e.Now()+Time(i), bump, n)
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 512; i++ {
+			e.AtEvent(e.Now()+Time(i), bump, n)
+		}
+		e.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("typed-event path allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestTickerWakeDoesNotAllocate covers the per-cycle reschedule every
+// clocked component rides on.
+func TestTickerWakeDoesNotAllocate(t *testing.T) {
+	e := NewEngine()
+	clk := NewClock(800)
+	work := 0
+	var tk *Ticker
+	tk = NewTicker(e, clk, func() bool {
+		work--
+		return work > 0
+	})
+	// Warm up.
+	work = 64
+	tk.Wake()
+	e.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		work = 64
+		tk.Wake()
+		e.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("ticker wake/run allocated %.1f times per run, want 0", allocs)
+	}
+}
