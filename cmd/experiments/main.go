@@ -18,6 +18,10 @@
 // MEMNET_PAR or the CPU count) selects how many execute concurrently.
 // Output is byte-identical at any parallelism. Wall-clock, aggregate
 // compute time and the achieved speedup are reported on stderr.
+//
+// The experiment table itself lives in internal/exp (Experiments); this
+// command and cmd/memnetd render the same registry, so a served result is
+// byte-identical to the CLI's output for the same parameters.
 package main
 
 import (
@@ -83,13 +87,20 @@ func main() {
 		core.SetObsDefault(*traceDir, *metricsDir, epoch)
 	}
 
+	// Fail fast on an invalid explicit -par instead of silently falling
+	// back to the default width.
+	if *parFlag < 0 {
+		fatal(fmt.Errorf("-par must be a positive integer, got %d", *parFlag))
+	}
 	if *parFlag > 0 {
 		par.SetParallelism(*parFlag)
 	}
 
 	var wls []string
 	if *workloads != "" {
-		wls = strings.Split(*workloads, ",")
+		for _, w := range strings.Split(*workloads, ",") {
+			wls = append(wls, strings.TrimSpace(w))
+		}
 	}
 	var gpuCounts []int
 	for _, s := range strings.Split(*gpus, ",") {
@@ -98,6 +109,20 @@ func main() {
 			fatal(err)
 		}
 		gpuCounts = append(gpuCounts, n)
+	}
+
+	// Validate every parameter upfront — a bad scale, workload name or GPU
+	// count used to surface only once its first simulation was reached,
+	// possibly hours into a sweep.
+	params := exp.Params{Scale: *scale, Workloads: wls, GPUs: gpuCounts, DegLinks: *degLinks}
+	if *scale <= 0 {
+		fatal(fmt.Errorf("-scale must be positive, got %v", *scale))
+	}
+	if *degLinks < 0 {
+		fatal(fmt.Errorf("-deg-links must be non-negative, got %d", *degLinks))
+	}
+	if err := params.Validate(); err != nil {
+		fatal(err)
 	}
 
 	if *cpuprofile != "" {
@@ -110,100 +135,6 @@ func main() {
 			fatal(err)
 		}
 		defer pprof.StopCPUProfile()
-	}
-
-	// The experiment table: each entry renders its figure to stdout. Order
-	// matches the paper's evaluation section.
-	type experiment struct {
-		name string
-		run  func() (string, error)
-	}
-	exps := []experiment{
-		{"table2", func() (string, error) { return exp.TableII(), nil }},
-		{"fig7", func() (string, error) {
-			r, err := exp.Fig7(*scale)
-			return stringer(r, err)
-		}},
-		{"fig10", func() (string, error) {
-			rs, err := exp.Fig10(*scale)
-			if err != nil {
-				return "", err
-			}
-			var b strings.Builder
-			for _, r := range rs {
-				fmt.Fprintln(&b, r)
-			}
-			return strings.TrimSuffix(b.String(), "\n"), nil
-		}},
-		{"fig12", func() (string, error) {
-			rows, err := exp.Fig12()
-			if err != nil {
-				return "", err
-			}
-			return exp.Fig12String(rows), nil
-		}},
-		{"fig14", func() (string, error) {
-			r, err := exp.Fig14(*scale, wls)
-			return stringer(r, err)
-		}},
-		{"fig15", func() (string, error) {
-			rows, err := exp.Fig15(*scale)
-			if err != nil {
-				return "", err
-			}
-			return exp.Fig15String(rows), nil
-		}},
-		{"fig16", func() (string, error) {
-			sel := wls
-			if len(sel) == 0 {
-				sel = []string{"BP", "KMN", "BFS", "SRAD", "FWT", "CP"}
-			}
-			rows, err := exp.Fig16(*scale, sel)
-			if err != nil {
-				return "", err
-			}
-			var b strings.Builder
-			fmt.Fprintln(&b, exp.TopoRowsString(rows))
-			perf := exp.GeomeanBy(rows, "sMESH", "sFBFLY", func(r exp.TopoRow) float64 { return float64(r.Kernel) })
-			en := exp.GeomeanBy(rows, "sMESH", "sFBFLY", func(r exp.TopoRow) float64 { return r.EnergyJ })
-			fmt.Fprintf(&b, "sFBFLY vs sMESH: %.2fx faster, %.1f%% network energy saved (geomean)\n", perf, 100*(1-1/en))
-			return b.String(), nil
-		}},
-		{"fig18", func() (string, error) {
-			rows, err := exp.Fig18(*scale)
-			if err != nil {
-				return "", err
-			}
-			return exp.Fig18String(rows), nil
-		}},
-		{"fig19", func() (string, error) {
-			rows, gm, err := exp.Fig19(*scale, gpuCounts)
-			if err != nil {
-				return "", err
-			}
-			return exp.Fig19String(rows, gm), nil
-		}},
-		{"placement", func() (string, error) {
-			rows, err := exp.Placement(*scale, wls)
-			if err != nil {
-				return "", err
-			}
-			return exp.PlacementString(rows), nil
-		}},
-		{"ctasched", func() (string, error) {
-			rows, err := exp.CTASched(*scale, wls)
-			if err != nil {
-				return "", err
-			}
-			return exp.SchedString(rows), nil
-		}},
-		{"degradation", func() (string, error) {
-			rows, err := exp.Degradation(*degLinks)
-			if err != nil {
-				return "", err
-			}
-			return exp.DegradationString(rows), nil
-		}},
 	}
 
 	want := map[string]bool{}
@@ -219,19 +150,19 @@ func main() {
 	ran := 0
 	sweepStart := time.Now()
 	sweepBusy := par.BusyTime()
-	for _, e := range exps {
-		if !all && !want[e.name] {
+	for _, e := range exp.Experiments() {
+		if !all && !want[e.Name] {
 			continue
 		}
 		start := time.Now()
 		busy := par.BusyTime()
-		out, err := e.run()
+		out, err := e.Run(params)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Println(out)
 		if !*quiet {
-			report(e.name, time.Since(start), par.BusyTime()-busy)
+			report(e.Name, time.Since(start), par.BusyTime()-busy)
 		}
 		ran++
 	}
@@ -265,14 +196,6 @@ func report(name string, wall, busy time.Duration) {
 	}
 	fmt.Fprintf(os.Stderr, "[%s] wall %.2fs, compute %.2fs, speedup %.2fx (par %d)\n",
 		name, wall.Seconds(), busy.Seconds(), speedup, par.Parallelism())
-}
-
-// stringer narrows a (fmt.Stringer, error) pair to (string, error).
-func stringer(s fmt.Stringer, err error) (string, error) {
-	if err != nil {
-		return "", err
-	}
-	return s.String(), nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,108 @@
+// Command memnetd is the long-running simulation server: an HTTP/JSON-lines
+// front end over the experiment registry. Clients submit simulation jobs,
+// identical jobs are deduped through a content-addressed result cache, and
+// results are byte-identical to the same sweep run via cmd/experiments.
+//
+// Usage:
+//
+//	memnetd                              # listen on localhost:8844
+//	memnetd -addr :9000 -queue-cap 128 -cache-dir /var/cache/memnet
+//	memnetd -par 8                       # worker-pool width per job
+//
+// Submit a job and wait for its result:
+//
+//	curl -sS -X POST localhost:8844/v1/run \
+//	     -d '{"experiment":"fig7","scale":0.05}'
+//
+// Or queue it and stream progress:
+//
+//	curl -sS -X POST localhost:8844/v1/jobs -d '{"experiment":"fig14"}'
+//	curl -sN localhost:8844/v1/jobs/<id>/events
+//	curl -sS localhost:8844/v1/jobs/<id>/result
+//
+// SIGINT/SIGTERM drain gracefully: the in-flight job completes and is
+// cached; queued jobs are aborted.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"memnet/internal/core"
+	"memnet/internal/par"
+	"memnet/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8844", "listen address")
+	queueCap := flag.Int("queue-cap", 64, "max queued jobs before submissions are rejected")
+	cacheDir := flag.String("cache-dir", "", "persist results in this directory (content-addressed; empty = memory only)")
+	parFlag := flag.Int("par", 0, "worker-pool width per job (0 = MEMNET_PAR env or CPU count)")
+	auditFlag := flag.Bool("audit", false, "check conservation invariants in every served run (results are byte-identical either way)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Minute, "max wall-clock time to wait for the in-flight job at shutdown")
+	flag.Parse()
+	lg := log.New(os.Stderr, "memnetd: ", log.LstdFlags)
+
+	// Fail fast on an invalid explicit -par instead of silently falling
+	// back to the default width.
+	if *parFlag < 0 {
+		lg.Fatalf("-par must be a positive integer, got %d", *parFlag)
+	}
+	if *parFlag > 0 {
+		par.SetParallelism(*parFlag)
+	}
+	if *queueCap <= 0 {
+		lg.Fatalf("-queue-cap must be positive, got %d", *queueCap)
+	}
+	core.SetAuditDefault(*auditFlag)
+
+	srv, err := serve.New(serve.Config{
+		QueueCap: *queueCap,
+		CacheDir: *cacheDir,
+		Log:      lg,
+	})
+	if err != nil {
+		lg.Fatal(err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	lg.Printf("listening on %s (queue cap %d, par %d, cache %s)",
+		*addr, *queueCap, par.Parallelism(), orMemory(*cacheDir))
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		lg.Fatal(err)
+	case sig := <-sigCh:
+		lg.Printf("received %s; draining", sig)
+	}
+
+	// Drain the job queue first so in-flight /v1/run waiters get their
+	// results, then stop the HTTP listener.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		lg.Printf("drain: %v", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		lg.Printf("http shutdown: %v", err)
+	}
+	lg.Printf("drained; bye")
+}
+
+func orMemory(dir string) string {
+	if dir == "" {
+		return "memory-only"
+	}
+	return fmt.Sprintf("disk at %s", dir)
+}

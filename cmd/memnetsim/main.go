@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"memnet"
@@ -64,6 +65,36 @@ func main() {
 	check(err)
 	pol, err := ske.ParsePolicy(*sched)
 	check(err)
+
+	// Validate every numeric flag and output path upfront: a bad value or
+	// an unwritable destination used to surface only mid-run (or, for the
+	// trace file, only after the whole simulation had finished).
+	if math.IsNaN(*scale) || math.IsInf(*scale, 0) || *scale <= 0 {
+		check(fmt.Errorf("-scale must be a positive finite number, got %v", *scale))
+	}
+	if *gpus <= 0 {
+		check(fmt.Errorf("-gpus must be positive, got %d", *gpus))
+	}
+	if *mult < 1 {
+		check(fmt.Errorf("-mult must be at least 1, got %d", *mult))
+	}
+	for _, f := range []struct {
+		name string
+		val  int
+	}{
+		{"-fault-transients", *faultTransients}, {"-fault-links", *faultLinks},
+		{"-fault-gpus", *faultGPUs}, {"-fault-vaults", *faultVaults},
+		{"-fault-pcie", *faultPCIe},
+	} {
+		if f.val < 0 {
+			check(fmt.Errorf("%s must be non-negative, got %d", f.name, f.val))
+		}
+	}
+	for _, out := range []string{*traceOut, *metricsOut} {
+		if out != "" {
+			check(obs.CheckWritable(out))
+		}
+	}
 
 	cfg := core.DefaultConfig(a, *wl)
 	cfg.Scale = *scale

@@ -17,6 +17,7 @@ import (
 	"memnet/internal/hmc"
 	"memnet/internal/mem"
 	"memnet/internal/noc"
+	"memnet/internal/obs"
 	"memnet/internal/pcie"
 	"memnet/internal/sim"
 	"memnet/internal/ske"
@@ -189,6 +190,37 @@ func (c *Config) resolveObs(workloadAbbr string) {
 	}
 }
 
+// progressDefault is a process-wide progress sink applied to configs whose
+// Progress field is nil (experiment sweeps build their configs internally,
+// so serving layers route their per-job sink through here). Atomic because
+// sweeps build systems from many goroutines.
+var progressDefault atomic.Pointer[obs.ProgressFunc]
+
+// SetProgressDefault installs the process-wide progress sink used by
+// configs that leave Progress nil; nil clears it. Like the obs and fault
+// defaults it is process-global, so a serving layer that runs jobs one at
+// a time installs the current job's sink before the run and clears it
+// after.
+func SetProgressDefault(fn obs.ProgressFunc) {
+	if fn == nil {
+		progressDefault.Store(nil)
+		return
+	}
+	progressDefault.Store(&fn)
+}
+
+// progressFunc resolves the sink for this config: explicit first, then the
+// process-wide default.
+func (c *Config) progressFunc() obs.ProgressFunc {
+	if c.Progress != nil {
+		return c.Progress
+	}
+	if p := progressDefault.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
 // faultDefault is a process-wide fault schedule applied to configs whose
 // Faults field is nil (experiment sweeps build their configs internally,
 // so the CLIs route their -faults flag through here). Atomic because
@@ -234,6 +266,12 @@ type Config struct {
 	// DumpStateOnDeadlock appends a full network state dump to the error
 	// when a phase deadlocks or livelocks (see noc.DumpState).
 	DumpStateOnDeadlock bool
+	// Progress, when non-nil, receives coarse progress events (run and
+	// phase boundaries; see obs.ProgressEvent). Like tracing it is
+	// passive — events fire between engine events, so results are
+	// byte-identical with a sink attached or not. Nil falls back to the
+	// process-wide default (SetProgressDefault).
+	Progress obs.ProgressFunc
 
 	// Faults is an explicit fault-injection schedule; nil falls back to
 	// the process-wide default (SetFaultDefault) and then to FaultRates.

@@ -9,6 +9,7 @@ import (
 
 	"memnet/internal/energy"
 	"memnet/internal/mem"
+	"memnet/internal/obs"
 	"memnet/internal/sim"
 	"memnet/internal/stats"
 )
@@ -69,6 +70,7 @@ func (s *System) Execute() (*Result, error) {
 		Topo:     s.cfg.Topo.String(),
 		NumGPUs:  s.cfg.NumGPUs,
 	}
+	s.emitProgress(obs.ProgressRunStart, "")
 	if s.cfg.Arch.needsCopy() {
 		t, err := s.runPhase("h2d memcpy", func(done func()) { s.memcpy(true, done) })
 		if err != nil {
@@ -110,7 +112,18 @@ func (s *System) Execute() (*Result, error) {
 		return nil, err
 	}
 	s.collect(res)
+	s.emitProgress(obs.ProgressRunDone, "")
 	return res, nil
+}
+
+// emitProgress forwards one event to the resolved progress sink. It is
+// called only at run and phase boundaries, where the engine is between
+// events, so the sink can never perturb the simulation.
+func (s *System) emitProgress(event, phase string) {
+	if s.prog == nil {
+		return
+	}
+	s.prog(obs.ProgressEvent{Event: event, Run: s.runLabel, Phase: phase, At: s.eng.Now()})
 }
 
 // flushObs closes the final (possibly partial) metrics window and writes
@@ -176,6 +189,7 @@ func (s *System) checkAudits(where string) error {
 // watchdog window).
 func (s *System) runPhase(name string, start func(done func())) (sim.Time, error) {
 	t0 := s.eng.Now()
+	s.emitProgress(obs.ProgressPhaseStart, name)
 	finished := false
 	start(func() { finished = true })
 	wd := s.cfg.Watchdog
@@ -237,6 +251,7 @@ func (s *System) runPhase(name string, start func(done func())) (sim.Time, error
 	if err := s.checkAudits(fmt.Sprintf("phase %q", name)); err != nil {
 		return 0, err
 	}
+	s.emitProgress(obs.ProgressPhaseEnd, name)
 	return s.eng.Now() - t0, nil
 }
 

@@ -58,6 +58,11 @@ type System struct {
 	samp      *obs.Sampler
 	hostTrack obs.Track
 
+	// prog is the resolved progress sink (nil when none); runLabel names
+	// this run in its events as "<workload>/<arch>".
+	prog     obs.ProgressFunc
+	runLabel string
+
 	// fatal records the first unrecoverable fault-injection outcome (work
 	// lost with nowhere to re-queue it); the phase runner aborts on it.
 	fatal error
@@ -184,6 +189,8 @@ func NewSystem(cfg Config) (*System, error) {
 		s.aud = audit.New(func() int64 { return int64(s.eng.Now()) })
 		s.registerAudits()
 	}
+	s.prog = cfg.progressFunc()
+	s.runLabel = w.Abbr + "/" + cfg.Arch.String()
 	s.cfg.resolveObs(w.Abbr)
 	if s.cfg.TraceOut != "" || s.cfg.MetricsOut != "" {
 		if s.cfg.TraceOut != "" {

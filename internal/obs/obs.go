@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
@@ -187,6 +188,10 @@ func jsonFloat(v float64) string {
 
 // ParseDuration parses a sim-time duration like "500ns", "1us", "2.5ms"
 // or a bare picosecond count like "1000". Units: ps, ns, us, ms, s.
+//
+// Durations configure positive sim-time windows (metrics epochs, fault
+// horizons, watchdogs), so NaN, infinities, zero and negative values are
+// rejected, as are values that overflow the int64 picosecond clock.
 func ParseDuration(s string) (sim.Time, error) {
 	units := []struct {
 		suffix string
@@ -206,11 +211,36 @@ func ParseDuration(s string) (sim.Time, error) {
 		if err != nil {
 			return 0, fmt.Errorf("obs: bad duration %q: %v", s, err)
 		}
-		return sim.Time(v * float64(u.scale)), nil
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, fmt.Errorf("obs: bad duration %q: must be finite", s)
+		}
+		if v <= 0 {
+			return 0, fmt.Errorf("obs: bad duration %q: must be positive", s)
+		}
+		ps := v * float64(u.scale)
+		if ps >= float64(math.MaxInt64) {
+			return 0, fmt.Errorf("obs: duration %q overflows the picosecond clock", s)
+		}
+		return sim.Time(ps), nil
 	}
 	v, err := strconv.ParseInt(s, 10, 64)
 	if err != nil {
 		return 0, fmt.Errorf("obs: bad duration %q (want e.g. 500ns, 1us)", s)
 	}
+	if v <= 0 {
+		return 0, fmt.Errorf("obs: bad duration %q: must be positive", s)
+	}
 	return sim.Time(v), nil
+}
+
+// CheckWritable verifies upfront that path can be created for writing, so
+// a long run does not discover an unwritable -trace/-metrics destination
+// only when it ends. It creates the file if absent (existing contents are
+// left untouched; the run truncates it when it actually writes).
+func CheckWritable(path string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("obs: output %s is not writable: %w", path, err)
+	}
+	return f.Close()
 }

@@ -3,6 +3,8 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -271,6 +273,63 @@ func TestParseDuration(t *testing.T) {
 		if _, err := ParseDuration(bad); err == nil {
 			t.Fatalf("ParseDuration(%q) did not fail", bad)
 		}
+	}
+}
+
+// TestParseDurationRejectsDegenerate pins the hardening fix: a duration
+// used as a sampling epoch or trace interval must be a finite, positive
+// time that fits the int64 picosecond clock. NaN/Inf parse as valid
+// floats, so each needs an explicit rejection.
+func TestParseDurationRejectsDegenerate(t *testing.T) {
+	cases := map[string]string{
+		"NaNus":   "finite",
+		"nanms":   "finite",
+		"Infus":   "finite",
+		"+Infs":   "finite",
+		"-Infns":  "finite",
+		"0us":     "positive",
+		"0":       "positive",
+		"-1us":    "positive",
+		"-5":      "positive",
+		"-0.5ms":  "positive",
+		"1e30ns":  "overflows",
+		"1e100s":  "overflows",
+		"9223372036854775807us": "overflows",
+	}
+	for in, wantSub := range cases {
+		_, err := ParseDuration(in)
+		if err == nil {
+			t.Errorf("ParseDuration(%q) accepted a degenerate duration", in)
+			continue
+		}
+		if !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("ParseDuration(%q) error %q, want mention of %q", in, err, wantSub)
+		}
+	}
+}
+
+// TestCheckWritable covers the upfront -trace/-metrics path validation.
+func TestCheckWritable(t *testing.T) {
+	dir := t.TempDir()
+	// A fresh path in a writable directory passes (and is created).
+	fresh := filepath.Join(dir, "out.csv")
+	if err := CheckWritable(fresh); err != nil {
+		t.Fatalf("CheckWritable(fresh) = %v", err)
+	}
+	// An existing file passes and keeps its contents.
+	keep := filepath.Join(dir, "keep.csv")
+	if err := os.WriteFile(keep, []byte("precious"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckWritable(keep); err != nil {
+		t.Fatalf("CheckWritable(existing) = %v", err)
+	}
+	if data, _ := os.ReadFile(keep); string(data) != "precious" {
+		t.Fatalf("CheckWritable truncated the file to %q", data)
+	}
+	// A path under a missing directory fails upfront.
+	if err := CheckWritable(filepath.Join(dir, "no", "such", "dir", "x.csv")); err == nil {
+		t.Fatal("CheckWritable accepted a path in a missing directory")
 	}
 }
 

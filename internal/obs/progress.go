@@ -1,0 +1,33 @@
+package obs
+
+import "memnet/internal/sim"
+
+// Progress event names. A run emits run_start once, a phase_start /
+// phase_end pair per executed phase (h2d memcpy, kernel, host compute,
+// d2h memcpy), and run_done once.
+const (
+	ProgressRunStart   = "run_start"
+	ProgressPhaseStart = "phase_start"
+	ProgressPhaseEnd   = "phase_end"
+	ProgressRunDone    = "run_done"
+)
+
+// ProgressEvent is one coarse-grained progress notification from a running
+// simulation. Events fire at the same passive seam as the tracer's host
+// phase spans — between engine events, at phase boundaries — so emitting
+// them never perturbs the simulation: results are byte-identical with a
+// progress sink attached or not.
+type ProgressEvent struct {
+	Event string `json:"event"`
+	// Run labels the simulation as "<workload>/<arch>"; an experiment
+	// sweep runs many simulations, so events from parallel runs are
+	// distinguished by this label.
+	Run   string   `json:"run"`
+	Phase string   `json:"phase,omitempty"`
+	At    sim.Time `json:"at_ps"` // simulated time of the event
+}
+
+// ProgressFunc consumes progress events. It may be called from multiple
+// goroutines at once when runs execute in parallel (each call comes from
+// that run's goroutine); sinks must be safe for concurrent use.
+type ProgressFunc func(ProgressEvent)

@@ -20,9 +20,11 @@ package par
 
 import (
 	"context"
+	"fmt"
 	"os"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,15 +37,32 @@ var (
 	defaultParallelism = initialParallelism()
 )
 
-// initialParallelism resolves the MEMNET_PAR environment variable, falling
-// back to runtime.NumCPU().
-func initialParallelism() int {
-	if s := os.Getenv("MEMNET_PAR"); s != "" {
-		if n, err := strconv.Atoi(s); err == nil && n > 0 {
-			return n
-		}
+// ParseWidth parses a worker-pool width: a positive decimal integer.
+// It is the validator behind MEMNET_PAR and the CLIs' -par flags.
+func ParseWidth(s string) (int, error) {
+	n, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("par: invalid parallelism %q (want a positive integer)", s)
 	}
-	return runtime.NumCPU()
+	return n, nil
+}
+
+// initialParallelism resolves the MEMNET_PAR environment variable, falling
+// back to runtime.NumCPU(). A malformed or non-positive value cannot fail
+// fast (this runs at package init), so it is ignored with a one-line
+// warning naming the bad value instead of being silently swallowed.
+func initialParallelism() int {
+	s := os.Getenv("MEMNET_PAR")
+	if s == "" {
+		return runtime.NumCPU()
+	}
+	n, err := ParseWidth(s)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "par: ignoring MEMNET_PAR=%q (want a positive integer); using %d (NumCPU)\n",
+			s, runtime.NumCPU())
+		return runtime.NumCPU()
+	}
+	return n
 }
 
 // Parallelism returns the current default pool width.

@@ -4,6 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -162,5 +166,58 @@ func TestDoRunsEveryJob(t *testing.T) {
 	}
 	if mask.Load() != 1<<16-1 {
 		t.Fatalf("mask = %b, want all 16 bits", mask.Load())
+	}
+}
+
+func TestParseWidth(t *testing.T) {
+	good := map[string]int{"1": 1, "8": 8, " 8 ": 8, "64": 64}
+	for in, want := range good {
+		n, err := ParseWidth(in)
+		if err != nil || n != want {
+			t.Errorf("ParseWidth(%q) = %d, %v, want %d", in, n, err, want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "-3", "0", "1.5", "8x", "0x8", "+ 2"} {
+		if n, err := ParseWidth(bad); err == nil {
+			t.Errorf("ParseWidth(%q) = %d, want an error", bad, n)
+		}
+	}
+}
+
+// TestInitialParallelismWarns pins the MEMNET_PAR bugfix: a malformed
+// value is ignored with a stderr warning (init-time code cannot fail
+// fast), never silently swallowed; a valid value is honored.
+func TestInitialParallelismWarns(t *testing.T) {
+	warned := func(val string) (int, string) {
+		t.Helper()
+		t.Setenv("MEMNET_PAR", val)
+		r, w, err := os.Pipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig := os.Stderr
+		os.Stderr = w
+		n := initialParallelism()
+		os.Stderr = orig
+		w.Close()
+		data, _ := io.ReadAll(r)
+		r.Close()
+		return n, string(data)
+	}
+
+	if n, msg := warned("3"); n != 3 || msg != "" {
+		t.Fatalf("MEMNET_PAR=3: got %d with warning %q", n, msg)
+	}
+	for _, bad := range []string{"banana", "-2", "0"} {
+		n, msg := warned(bad)
+		if n != runtime.NumCPU() {
+			t.Errorf("MEMNET_PAR=%q: width %d, want NumCPU fallback %d", bad, n, runtime.NumCPU())
+		}
+		if !strings.Contains(msg, bad) {
+			t.Errorf("MEMNET_PAR=%q: warning %q does not name the bad value", bad, msg)
+		}
+	}
+	if n, msg := warned(""); n != runtime.NumCPU() || msg != "" {
+		t.Fatalf("unset MEMNET_PAR: got %d with warning %q", n, msg)
 	}
 }

@@ -1,0 +1,127 @@
+// Package cachedir is a content-addressed blob store on disk: the result
+// cache behind memnetd's -cache-dir flag. Keys are lowercase hex SHA-256
+// digests of the canonical job spec; values are the rendered experiment
+// results. Writes are atomic (temp file + rename), so a crashed or killed
+// server never leaves a truncated result that a later process would serve
+// as authoritative.
+package cachedir
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// keyLen is the length of a lowercase hex SHA-256 digest.
+const keyLen = 64
+
+// Store is a directory of content-addressed blobs. Methods are safe for
+// concurrent use by multiple goroutines (atomic rename publishes a blob);
+// concurrent writers of the same key converge on identical content, since
+// keys are hashes of the inputs that deterministically produced the value.
+type Store struct {
+	dir string
+}
+
+// Open ensures dir exists and is writable and returns the store. The
+// writability probe fails fast at startup instead of on the first Put
+// mid-service.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cachedir: %w", err)
+	}
+	probe, err := os.CreateTemp(dir, ".probe-*")
+	if err != nil {
+		return nil, fmt.Errorf("cachedir: %s is not writable: %w", dir, err)
+	}
+	name := probe.Name()
+	probe.Close()
+	os.Remove(name)
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// checkKey rejects anything but a lowercase hex digest. Keys become file
+// names, so this is also the path-traversal guard: "../../etc/passwd" or
+// an absolute path can never reach the filesystem layer.
+func checkKey(key string) error {
+	if len(key) != keyLen {
+		return fmt.Errorf("cachedir: bad key %q: want %d hex characters", key, keyLen)
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return fmt.Errorf("cachedir: bad key %q: want lowercase hex", key)
+		}
+	}
+	return nil
+}
+
+// path returns the blob's file name: two-level fan-out keeps any one
+// directory small under millions of cached results.
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key[:2], key)
+}
+
+// Get returns the blob stored under key, or ok=false if absent.
+func (s *Store) Get(key string) (data []byte, ok bool, err error) {
+	if err := checkKey(key); err != nil {
+		return nil, false, err
+	}
+	data, err = os.ReadFile(s.path(key))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("cachedir: %w", err)
+	}
+	return data, true, nil
+}
+
+// Put stores data under key atomically: it lands complete or not at all.
+func (s *Store) Put(key string, data []byte) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	dst := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return fmt.Errorf("cachedir: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(dst), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("cachedir: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), dst)
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cachedir: %w", werr)
+	}
+	return nil
+}
+
+// Len counts the stored blobs (a stats/debugging helper, not a hot path).
+func (s *Store) Len() (int, error) {
+	n := 0
+	err := filepath.WalkDir(s.dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && !strings.HasPrefix(d.Name(), ".") {
+			n++
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, fmt.Errorf("cachedir: %w", err)
+	}
+	return n, nil
+}

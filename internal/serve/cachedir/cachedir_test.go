@@ -1,0 +1,82 @@
+package cachedir
+
+import (
+	"strings"
+	"testing"
+)
+
+func validKey(seed byte) string {
+	return strings.Repeat(string([]byte{'a' + seed%6}), 64)
+}
+
+func TestRoundTrip(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := validKey(0)
+	if _, ok, err := st.Get(key); err != nil || ok {
+		t.Fatalf("empty store returned ok=%v err=%v", ok, err)
+	}
+	want := "GMEAN speedup 2.27x\n"
+	if err := st.Put(key, []byte(want)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := st.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("Get after Put: ok=%v err=%v", ok, err)
+	}
+	if string(got) != want {
+		t.Fatalf("Get = %q, want %q", got, want)
+	}
+	if n, err := st.Len(); err != nil || n != 1 {
+		t.Fatalf("Len = %d, %v, want 1", n, err)
+	}
+}
+
+func TestReopenPersists(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := validKey(1)
+	if err := st.Put(key, []byte("persisted")); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := st2.Get(key)
+	if err != nil || !ok || string(got) != "persisted" {
+		t.Fatalf("reopened store: %q, ok=%v, err=%v", got, ok, err)
+	}
+}
+
+// TestBadKeys pins the path-traversal guard: only 64-char lowercase hex
+// is a key; everything else is rejected by Get and Put alike.
+func TestBadKeys(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []string{
+		"",
+		"short",
+		strings.Repeat("a", 63),
+		strings.Repeat("a", 65),
+		strings.Repeat("A", 64),            // uppercase hex is not canonical
+		strings.Repeat("g", 64),            // not hex
+		"../" + strings.Repeat("a", 61),    // traversal
+		strings.Repeat("a", 32) + "/" + strings.Repeat("a", 31),
+	}
+	for _, key := range bad {
+		if err := st.Put(key, []byte("x")); err == nil {
+			t.Errorf("Put accepted bad key %q", key)
+		}
+		if _, _, err := st.Get(key); err == nil {
+			t.Errorf("Get accepted bad key %q", key)
+		}
+	}
+}

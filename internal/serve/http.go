@@ -1,0 +1,233 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"memnet/internal/exp"
+)
+
+// maxBodyBytes bounds a submitted job spec. The largest legitimate spec —
+// a full fault schedule — is a few hundred KB; anything bigger is abuse.
+const maxBodyBytes = 1 << 20
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) buildMux() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux = mux
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// submitStatus maps a submission error to an HTTP status.
+func submitStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// decodeSpec reads one JobSpec from an untrusted request body: bounded
+// size, unknown fields rejected, trailing garbage rejected.
+func decodeSpec(w http.ResponseWriter, r *http.Request) (*JobSpec, error) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	spec := &JobSpec{}
+	if err := dec.Decode(spec); err != nil {
+		return nil, fmt.Errorf("serve: bad job spec: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("serve: bad job spec: trailing data after the JSON object")
+	}
+	return spec, nil
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		Name string `json:"name"`
+		Desc string `json:"desc"`
+	}
+	var out []entry
+	for _, e := range exp.Experiments() {
+		out = append(out, entry{e.Name, e.Desc})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Stats())
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	spec, err := decodeSpec(w, r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	key, state, reused, err := s.Submit(spec)
+	if err != nil {
+		httpError(w, submitStatus(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if !reused {
+		w.WriteHeader(http.StatusAccepted)
+	}
+	json.NewEncoder(w).Encode(map[string]any{
+		"id": key, "state": state, "reused": reused,
+	})
+}
+
+// lookup resolves the {id} path segment to a job; ids are content-address
+// keys, so the format check doubles as input hardening.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *job {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q", id))
+		return nil
+	}
+	return j
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	s.mu.Lock()
+	resp := map[string]any{
+		"id":         j.key,
+		"experiment": j.spec.Experiment,
+		"state":      j.state,
+		"events":     len(j.events),
+	}
+	if j.errMsg != "" {
+		resp["error"] = j.errMsg
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	s.mu.Lock()
+	state, result, errMsg := j.state, j.result, j.errMsg
+	s.mu.Unlock()
+	switch state {
+	case StateDone:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, result)
+	case StateFailed:
+		httpError(w, http.StatusInternalServerError, fmt.Errorf("serve: job failed: %s", errMsg))
+	case StateAborted:
+		httpError(w, http.StatusGone, fmt.Errorf("serve: job aborted at shutdown"))
+	default:
+		httpError(w, http.StatusNotFound, fmt.Errorf("serve: job is %s; result not ready", state))
+	}
+}
+
+// handleEvents streams the job's progress as JSON lines: the full replay
+// buffer first, then live events until the job ends or the client leaves.
+// Leaving never cancels the job.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, fmt.Errorf("serve: streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	replay, ch := j.subscribe(&s.mu)
+	defer j.unsubscribe(&s.mu, ch)
+	for _, line := range replay {
+		fmt.Fprintln(w, line)
+	}
+	flusher.Flush()
+	// The terminal job_done line is published before done is closed, so
+	// draining ch after done fires delivers everything.
+	for {
+		select {
+		case line := <-ch:
+			fmt.Fprintln(w, line)
+			flusher.Flush()
+		case <-j.done:
+			for {
+				select {
+				case line := <-ch:
+					fmt.Fprintln(w, line)
+				default:
+					flusher.Flush()
+					return
+				}
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleRun submits a job and waits for its result — the curl-friendly
+// path, and the one CI byte-compares against cmd/experiments. If the
+// client disconnects while waiting, the job keeps running and the result
+// is cached for the next identical request.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	spec, err := decodeSpec(w, r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	key, _, _, err := s.Submit(spec)
+	if err != nil {
+		httpError(w, submitStatus(err), err)
+		return
+	}
+	result, err := s.Wait(r.Context(), key)
+	if err != nil {
+		if r.Context().Err() != nil {
+			// Client gone; nothing useful to write.
+			return
+		}
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, result)
+}

@@ -1,0 +1,409 @@
+// Package serve is memnetd's serving layer: a long-running HTTP/JSON-lines
+// front end over the experiment registry (internal/exp). Clients submit
+// simulation jobs (experiment name + parameters); the server validates and
+// canonicalizes each spec, dedupes identical work through a
+// content-addressed result cache, queues admitted jobs in a bounded
+// per-client-fair FIFO, executes them one at a time (each job fans its
+// runs across the internal/par worker pool, exactly as cmd/experiments
+// does), and streams progress events as JSON lines.
+//
+// Served results are byte-identical to `cmd/experiments -exp <name>`
+// output for the same parameters — both render the same registry — and CI
+// pins that with a cmp job.
+//
+// Jobs are server-owned: a client that disconnects mid-run abandons only
+// its response stream, not the simulation, and the finished result stays
+// cached for the next request. Shutdown drains the in-flight job before
+// returning and aborts what is still queued.
+//
+// # HTTP API
+//
+//	GET  /v1/healthz            liveness probe
+//	GET  /v1/experiments        the experiment registry (JSON)
+//	GET  /v1/stats              queue/cache/simulation counters (JSON)
+//	POST /v1/jobs               submit a JobSpec; returns id + state
+//	GET  /v1/jobs/{id}          job status (JSON)
+//	GET  /v1/jobs/{id}/events   progress stream (JSON lines, replay + live)
+//	GET  /v1/jobs/{id}/result   the result text (404 until done)
+//	POST /v1/run                submit and wait; returns the result text
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+
+	"memnet/internal/core"
+	"memnet/internal/exp"
+	"memnet/internal/obs"
+	"memnet/internal/serve/cachedir"
+)
+
+// Sentinel submission errors; the HTTP layer maps them to status codes.
+var (
+	// ErrQueueFull rejects a submission when the bounded queue is at
+	// capacity (HTTP 503: retry later).
+	ErrQueueFull = errors.New("serve: job queue is full")
+	// ErrDraining rejects submissions during graceful shutdown.
+	ErrDraining = errors.New("serve: server is shutting down")
+)
+
+// Runner executes one canonicalized job and returns its rendered result.
+// The default runs the experiment registry; tests inject stubs.
+type Runner func(spec *JobSpec) (string, error)
+
+// RegistryRunner renders spec's experiment exactly as cmd/experiments
+// prints it (including the trailing newline fmt.Println appends), so a
+// served result byte-compares against the CLI's stdout.
+func RegistryRunner(spec *JobSpec) (string, error) {
+	e, ok := exp.Find(spec.Experiment)
+	if !ok {
+		return "", fmt.Errorf("serve: unknown experiment %q", spec.Experiment)
+	}
+	out, err := e.Run(spec.Params())
+	if err != nil {
+		return "", err
+	}
+	return out + "\n", nil
+}
+
+// Config configures a Server.
+type Config struct {
+	// QueueCap bounds the number of queued (admitted, not yet running)
+	// jobs; submissions beyond it are rejected with ErrQueueFull.
+	// Default 64.
+	QueueCap int
+	// CacheDir, when non-empty, persists results on disk so a restarted
+	// server still dedupes against everything it ever computed.
+	CacheDir string
+	// Runner executes jobs (default RegistryRunner).
+	Runner Runner
+	// Log receives one line per lifecycle event (nil = log.Default).
+	Log *log.Logger
+}
+
+// Stats are the server's monotonic counters plus current queue state.
+type Stats struct {
+	SimulationsRun int64 `json:"simulations_run"` // jobs actually executed
+	CacheHits      int64 `json:"cache_hits"`      // submissions answered from a completed result
+	Deduped        int64 `json:"deduped"`         // submissions attached to an identical queued/running job
+	Rejected       int64 `json:"rejected"`        // submissions refused (queue full)
+	Failed         int64 `json:"jobs_failed"`
+	Queued         int   `json:"queued"`
+	Running        int   `json:"running"`
+}
+
+// Server owns the job table, the queue and the single dispatcher
+// goroutine. Create with New, serve its Handler, stop with Shutdown.
+type Server struct {
+	cfg  Config
+	lg   *log.Logger
+	disk *cachedir.Store
+	mux  *http.ServeMux
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// jobs is the in-memory job table and result cache, keyed by content
+	// address. Completed jobs stay resident: the cache is the point.
+	jobs map[string]*job
+	// queue holds per-client FIFO lists; clients lists the clients with
+	// queued work in round-robin order and nextCli is the RR cursor, so
+	// one client flooding the queue cannot starve another's first job.
+	queue    map[string][]*job
+	clients  []string
+	nextCli  int
+	queuedN  int
+	running  *job
+	draining bool
+	stats    Stats
+
+	dispatcherDone chan struct{}
+}
+
+// New builds a Server and starts its dispatcher.
+func New(cfg Config) (*Server, error) {
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 64
+	}
+	if cfg.Runner == nil {
+		cfg.Runner = RegistryRunner
+	}
+	if cfg.Log == nil {
+		cfg.Log = log.Default()
+	}
+	s := &Server{
+		cfg:            cfg,
+		lg:             cfg.Log,
+		jobs:           make(map[string]*job),
+		queue:          make(map[string][]*job),
+		dispatcherDone: make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	if cfg.CacheDir != "" {
+		disk, err := cachedir.Open(cfg.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		s.disk = disk
+	}
+	s.buildMux()
+	go s.dispatch()
+	return s, nil
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Queued = s.queuedN
+	if s.running != nil {
+		st.Running = 1
+	}
+	return st
+}
+
+// Submit validates, canonicalizes and admits a job spec. It returns the
+// job's content-address key, its state after admission, and whether this
+// submission was answered without new work (cache hit or dedupe). The
+// caller observes completion via Wait or the HTTP event stream.
+func (s *Server) Submit(spec *JobSpec) (key, state string, reused bool, err error) {
+	if err := spec.Canonicalize(); err != nil {
+		return "", "", false, err
+	}
+	j, reused, err := s.admit(spec)
+	if err != nil {
+		return "", "", false, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return j.key, j.state, reused, nil
+}
+
+// admit takes a canonicalized spec and returns its job: an existing one
+// (cache hit / dedupe), one revived from the disk cache, or a freshly
+// queued one.
+func (s *Server) admit(spec *JobSpec) (*job, bool, error) {
+	key := spec.Key()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[key]; ok && j.state != StateAborted {
+		switch j.state {
+		case StateDone, StateFailed:
+			// Failed results are cached too: the simulator is
+			// deterministic, so the same spec fails the same way.
+			s.stats.CacheHits++
+		default:
+			s.stats.Deduped++
+		}
+		return j, true, nil
+	}
+	if s.disk != nil {
+		if data, ok, err := s.disk.Get(key); err != nil {
+			s.lg.Printf("serve: disk cache read %s: %v", key[:12], err)
+		} else if ok {
+			j := newJob(spec, key)
+			j.state = StateDone
+			j.result = string(data)
+			close(j.done)
+			s.jobs[key] = j
+			s.stats.CacheHits++
+			return j, true, nil
+		}
+	}
+	if s.draining {
+		return nil, false, ErrDraining
+	}
+	if s.queuedN >= s.cfg.QueueCap {
+		s.stats.Rejected++
+		return nil, false, ErrQueueFull
+	}
+	j := newJob(spec, key)
+	s.jobs[key] = j
+	client := spec.Client
+	if client == "" {
+		client = "anonymous"
+	}
+	if len(s.queue[client]) == 0 {
+		s.clients = append(s.clients, client)
+	}
+	s.queue[client] = append(s.queue[client], j)
+	s.queuedN++
+	s.lg.Printf("serve: queued %s %s (client %s, %d queued)", spec.Experiment, key[:12], client, s.queuedN)
+	s.cond.Signal()
+	return j, false, nil
+}
+
+// Wait blocks until the job reaches a terminal state or ctx is cancelled.
+// Cancellation abandons only the wait — the job keeps running and its
+// result stays cached (client churn must not waste computed work).
+func (s *Server) Wait(ctx context.Context, key string) (result string, err error) {
+	s.mu.Lock()
+	j, ok := s.jobs[key]
+	s.mu.Unlock()
+	if !ok {
+		return "", fmt.Errorf("serve: unknown job %q", key)
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return "", ctx.Err()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch j.state {
+	case StateDone:
+		return j.result, nil
+	case StateFailed:
+		return "", fmt.Errorf("serve: job failed: %s", j.errMsg)
+	default: // aborted
+		return "", fmt.Errorf("serve: job aborted at shutdown")
+	}
+}
+
+// dispatch is the single executor loop: it picks one queued job at a time
+// (round-robin over clients, FIFO within a client) and runs it. One job
+// at a time is deliberate — each job already fans its runs across the
+// whole internal/par pool, and serial execution is what lets the per-job
+// process-wide fault/progress defaults compose safely.
+func (s *Server) dispatch() {
+	defer close(s.dispatcherDone)
+	for {
+		s.mu.Lock()
+		for s.queuedN == 0 && !s.draining {
+			s.cond.Wait()
+		}
+		if s.draining {
+			s.abortQueuedLocked()
+			s.mu.Unlock()
+			return
+		}
+		j := s.pickLocked()
+		j.state = StateRunning
+		s.running = j
+		j.publishLocked(fmt.Sprintf(`{"event":"job_running","id":%q}`, j.key))
+		s.mu.Unlock()
+
+		s.execute(j)
+
+		s.mu.Lock()
+		s.running = nil
+		s.mu.Unlock()
+	}
+}
+
+// pickLocked pops the next job: the round-robin cursor selects the client,
+// the client's list is FIFO.
+func (s *Server) pickLocked() *job {
+	if s.nextCli >= len(s.clients) {
+		s.nextCli = 0
+	}
+	c := s.clients[s.nextCli]
+	q := s.queue[c]
+	j := q[0]
+	if len(q) == 1 {
+		delete(s.queue, c)
+		// Removing the client leaves nextCli pointing at the next one.
+		s.clients = append(s.clients[:s.nextCli], s.clients[s.nextCli+1:]...)
+	} else {
+		s.queue[c] = q[1:]
+		s.nextCli++
+	}
+	s.queuedN--
+	return j
+}
+
+// execute runs one job through the Runner with the job's progress sink
+// and fault schedule installed as the process-wide defaults (safe because
+// jobs run strictly one at a time), then publishes the terminal state.
+func (s *Server) execute(j *job) {
+	core.SetProgressDefault(func(ev obs.ProgressEvent) { s.publishProgress(j, ev) })
+	if j.spec.Faults != nil {
+		core.SetFaultDefault(j.spec.Faults)
+	}
+	out, err := s.cfg.Runner(j.spec)
+	core.SetFaultDefault(nil)
+	core.SetProgressDefault(nil)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.SimulationsRun++
+	if err != nil {
+		j.state = StateFailed
+		j.errMsg = err.Error()
+		s.stats.Failed++
+		s.lg.Printf("serve: job %s failed: %v", j.key[:12], err)
+	} else {
+		j.state = StateDone
+		j.result = out
+		s.lg.Printf("serve: job %s done (%d bytes)", j.key[:12], len(out))
+		if s.disk != nil {
+			if derr := s.disk.Put(j.key, []byte(out)); derr != nil {
+				// The in-memory result is still served; only persistence
+				// across restarts is degraded.
+				s.lg.Printf("serve: disk cache write %s: %v", j.key[:12], derr)
+			}
+		}
+	}
+	j.publishLocked(terminalLine(j))
+	close(j.done)
+}
+
+// publishProgress marshals one progress event onto the job's stream. It is
+// called concurrently from the worker goroutines of the running sweep.
+func (s *Server) publishProgress(j *job, ev obs.ProgressEvent) {
+	line := fmt.Sprintf(`{"event":%q,"run":%q,"phase":%q,"at_ps":%d}`,
+		ev.Event, ev.Run, ev.Phase, int64(ev.At))
+	s.mu.Lock()
+	j.publishLocked(line)
+	s.mu.Unlock()
+}
+
+// terminalLine renders the final JSON line of a job's event stream.
+func terminalLine(j *job) string {
+	if j.state == StateFailed {
+		return fmt.Sprintf(`{"event":"job_done","id":%q,"state":%q,"error":%q}`, j.key, j.state, j.errMsg)
+	}
+	return fmt.Sprintf(`{"event":"job_done","id":%q,"state":%q}`, j.key, j.state)
+}
+
+// abortQueuedLocked fails every still-queued job with the aborted state
+// (their waiters unblock with a shutdown error).
+func (s *Server) abortQueuedLocked() {
+	for _, c := range s.clients {
+		for _, j := range s.queue[c] {
+			j.state = StateAborted
+			j.publishLocked(terminalLine(j))
+			close(j.done)
+			s.queuedN--
+		}
+		delete(s.queue, c)
+	}
+	s.clients = nil
+	if s.queuedN != 0 {
+		// Defensive: the counters above are the only mutators.
+		s.lg.Printf("serve: queue accounting off by %d at shutdown", s.queuedN)
+		s.queuedN = 0
+	}
+}
+
+// Shutdown drains the server: no new submissions are admitted, the
+// in-flight job (if any) runs to completion and is cached, and queued
+// jobs are aborted. It returns once the dispatcher has exited or ctx
+// expires (the dispatcher then still exits on its own; only the wait is
+// abandoned).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	select {
+	case <-s.dispatcherDone:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
