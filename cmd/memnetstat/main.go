@@ -1,0 +1,214 @@
+// Command memnetstat is a terminal-friendly live view of a running
+// memnetd: it polls /v1/stats (the server's JSON counters) and /metrics
+// (the Prometheus exposition) and prints either a one-line ticker or a
+// full table per poll.
+//
+// Usage:
+//
+//	memnetstat                         # one line per second, forever
+//	memnetstat -n 1                    # single snapshot and exit
+//	memnetstat -table -interval 5s     # full table every 5 seconds
+//	memnetstat -addr localhost:8845    # point at the -admin listener
+//
+// The one-line view is designed to be watched: queue depth, running job,
+// cache hit counters, and — while a job runs — its live wall-clock rate
+// in simulated nanoseconds per real second, so "slow" and "stuck" look
+// different at a glance.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"memnet/internal/serve"
+	"memnet/internal/telemetry"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8844", "memnetd address (host:port)")
+	interval := flag.Duration("interval", time.Second, "poll interval")
+	count := flag.Int("n", 0, "number of polls before exiting (0 = forever)")
+	table := flag.Bool("table", false, "print a full metric table per poll instead of one line")
+	flag.Parse()
+
+	base := "http://" + strings.TrimPrefix(*addr, "http://")
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	for i := 0; *count == 0 || i < *count; i++ {
+		if i > 0 {
+			time.Sleep(*interval)
+		}
+		st, stErr := fetchStats(client, base)
+		samples, mErr := fetchMetrics(client, base)
+		if stErr != nil && mErr != nil {
+			fmt.Fprintf(os.Stderr, "memnetstat: %s unreachable: %v\n", *addr, stErr)
+			os.Exit(1)
+		}
+		if *table {
+			printTable(st, stErr, samples, mErr)
+		} else {
+			printLine(st, stErr, samples)
+		}
+	}
+}
+
+func fetchStats(c *http.Client, base string) (*serve.Stats, error) {
+	resp, err := c.Get(base + "/v1/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /v1/stats: %s", resp.Status)
+	}
+	st := &serve.Stats{}
+	if err := json.NewDecoder(resp.Body).Decode(st); err != nil {
+		return nil, fmt.Errorf("decode /v1/stats: %w", err)
+	}
+	return st, nil
+}
+
+func fetchMetrics(c *http.Client, base string) ([]telemetry.Sample, error) {
+	resp, err := c.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	return telemetry.ParseText(resp.Body)
+}
+
+// printLine renders the watchable ticker: timestamp, queue/running state,
+// cumulative counters, and the live rate of the running job if any.
+func printLine(st *serve.Stats, stErr error, samples []telemetry.Sample) {
+	now := time.Now().Format("15:04:05")
+	if stErr != nil {
+		fmt.Printf("%s  stats unavailable: %v\n", now, stErr)
+		return
+	}
+	state := "idle"
+	if st.Running > 0 {
+		state = "running"
+	}
+	if st.Draining {
+		state = "draining"
+	}
+	line := fmt.Sprintf("%s  %-8s q=%d run=%d done=%d hits=%d(disk %d) dedup=%d rej=%d fail=%d",
+		now, state, st.Queued, st.Running, st.SimulationsRun,
+		st.CacheHits, st.CacheHitsDisk, st.Deduped, st.Rejected, st.Failed)
+	if p := st.Progress; p != nil {
+		line += fmt.Sprintf("  [%s %s/s ev=%d quiet=%.1fs %s]",
+			p.Experiment, simRate(p.PsPerSecond), p.Events, p.SinceLastEvent, short(p.Job))
+	}
+	if busy, ok := find(samples, "memnetd_pool_busy_workers"); ok {
+		width, _ := find(samples, "memnetd_pool_width")
+		line += fmt.Sprintf("  pool=%.0f/%.0f", busy, width)
+	}
+	fmt.Println(line)
+}
+
+// printTable renders every scraped sample, grouped and sorted, plus the
+// stats block — the "give me everything" view.
+func printTable(st *serve.Stats, stErr error, samples []telemetry.Sample, mErr error) {
+	fmt.Printf("── %s ─────────────────────────────\n", time.Now().Format(time.RFC3339))
+	if stErr != nil {
+		fmt.Printf("stats: unavailable (%v)\n", stErr)
+	} else {
+		fmt.Printf("state: queued=%d running=%d draining=%v\n", st.Queued, st.Running, st.Draining)
+		fmt.Printf("totals: done=%d hits=%d disk_hits=%d deduped=%d rejected=%d failed=%d\n",
+			st.SimulationsRun, st.CacheHits, st.CacheHitsDisk, st.Deduped, st.Rejected, st.Failed)
+		if p := st.Progress; p != nil {
+			fmt.Printf("job: %s (%s)\n", p.Experiment, p.Job)
+			fmt.Printf("  sim time   %s  (%s/s over %.1fs wall)\n",
+				simTime(p.SimPs), simRate(p.PsPerSecond), p.WallSeconds)
+			fmt.Printf("  events     %d  (%.1f/s, %.1fs since last)\n",
+				p.Events, p.EventsPerSecond, p.SinceLastEvent)
+		}
+	}
+	if mErr != nil {
+		fmt.Printf("metrics: unavailable (%v)\n", mErr)
+		return
+	}
+	sort.Slice(samples, func(i, j int) bool {
+		if samples[i].Name != samples[j].Name {
+			return samples[i].Name < samples[j].Name
+		}
+		return labelKey(samples[i].Labels) < labelKey(samples[j].Labels)
+	})
+	for _, s := range samples {
+		name := s.Name
+		if lk := labelKey(s.Labels); lk != "" {
+			name += "{" + lk + "}"
+		}
+		fmt.Printf("  %-56s %g\n", name, s.Value)
+	}
+}
+
+func find(samples []telemetry.Sample, name string) (float64, bool) {
+	for _, s := range samples {
+		if s.Name == name {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+func labelKey(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%q", k, labels[k]))
+	}
+	return strings.Join(parts, ",")
+}
+
+// simTime renders a simulated-picosecond count in the largest sensible
+// unit — sweeps run for simulated micro- to milliseconds.
+func simTime(ps int64) string {
+	switch {
+	case ps >= 1e9:
+		return fmt.Sprintf("%.3f ms", float64(ps)/1e9)
+	case ps >= 1e6:
+		return fmt.Sprintf("%.3f us", float64(ps)/1e6)
+	case ps >= 1e3:
+		return fmt.Sprintf("%.3f ns", float64(ps)/1e3)
+	default:
+		return fmt.Sprintf("%d ps", ps)
+	}
+}
+
+// simRate renders a ps-per-wall-second rate as sim-time per second.
+func simRate(psPerSec float64) string {
+	switch {
+	case psPerSec >= 1e9:
+		return fmt.Sprintf("%.2fms", psPerSec/1e9)
+	case psPerSec >= 1e6:
+		return fmt.Sprintf("%.2fus", psPerSec/1e6)
+	case psPerSec >= 1e3:
+		return fmt.Sprintf("%.2fns", psPerSec/1e3)
+	default:
+		return fmt.Sprintf("%.0fps", psPerSec)
+	}
+}
+
+func short(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
+}

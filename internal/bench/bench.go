@@ -6,19 +6,27 @@
 //
 // The set deliberately spans the stack's altitudes: raw event-engine
 // throughput (EngineEvents, TypedEvents), the NoC flit hot loop in
-// isolation (FlitHop) and under saturation (SaturatedNoC), and whole
-// experiment sweeps (Fig07/Fig12/Fig16, SweepSequential/SweepParallel) so
-// a regression anywhere in the pipeline moves at least one curve.
+// isolation (FlitHop) and under saturation (SaturatedNoC), whole
+// experiment sweeps (Fig07/Fig12/Fig16, SweepSequential/SweepParallel),
+// and the serving stack's request path (ServeWarmCache) so a regression
+// anywhere in the pipeline moves at least one curve.
 package bench
 
 import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
+	"strings"
 	"testing"
 
 	"memnet/internal/exp"
 	"memnet/internal/noc"
 	"memnet/internal/par"
+	"memnet/internal/serve"
 	"memnet/internal/sim"
+	"memnet/internal/telemetry"
 )
 
 // Fn is one named benchmark.
@@ -46,6 +54,7 @@ func Full() []Fn {
 		Fn{"Fig16", Fig16},
 		Fn{"SweepSequential", SweepSequential},
 		Fn{"SweepParallel", SweepParallel},
+		Fn{"ServeWarmCache", ServeWarmCache},
 	)
 }
 
@@ -293,4 +302,46 @@ func benchSweep(b *testing.B, width int) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// serveWarmSpec is the job ServeWarmCache replays; table2 is parameterless
+// and cheap, so the first request warms the cache almost instantly and
+// every subsequent one measures pure serving overhead.
+const serveWarmSpec = `{"experiment":"table2"}`
+
+// ServeWarmCache measures the serving stack's request path end to end —
+// HTTP decode, spec canonicalization, SHA-256 content addressing, cache
+// lookup, response write — with the result already cached, in jobs/sec.
+// This is the dedupe fast path every repeated submission takes, with the
+// full telemetry registry attached (the instrumented, not the disabled,
+// cost).
+func ServeWarmCache(b *testing.B) {
+	srv, err := serve.New(serve.Config{Metrics: telemetry.NewRegistry(), Logger: telemetry.DiscardLogger()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	run := func() {
+		resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(serveWarmSpec))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("POST /v1/run: %s", resp.Status)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	run() // warm the cache: one real simulation
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
 }

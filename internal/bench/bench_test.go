@@ -18,3 +18,4 @@ func BenchmarkFig12(b *testing.B)           { Fig12(b) }
 func BenchmarkFig16(b *testing.B)           { Fig16(b) }
 func BenchmarkSweepSequential(b *testing.B) { SweepSequential(b) }
 func BenchmarkSweepParallel(b *testing.B)   { SweepParallel(b) }
+func BenchmarkServeWarmCache(b *testing.B)  { ServeWarmCache(b) }

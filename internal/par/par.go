@@ -88,12 +88,51 @@ func SetParallelism(n int) int {
 // busyNS accumulates wall-clock nanoseconds spent inside job functions
 // across all pools. cmd/experiments diffs it around an experiment to
 // report the aggregate compute time next to the elapsed wall clock
-// (their ratio is the achieved speedup).
-var busyNS atomic.Int64
+// (their ratio is the achieved speedup). busyWorkers and jobsDone feed
+// the serving stack's pool telemetry; all three are single atomic ops on
+// the per-job path, invisible next to a job that runs a whole simulation.
+var (
+	busyNS      atomic.Int64
+	busyWorkers atomic.Int64
+	jobsDone    atomic.Int64
+)
 
 // BusyTime returns the cumulative time spent executing jobs since process
 // start, summed over all workers.
 func BusyTime() time.Duration { return time.Duration(busyNS.Load()) }
+
+// PoolStats is a point-in-time view of the process-wide worker pool: the
+// configured width, how many workers are inside a job right now, and the
+// cumulative job/busy-time ledgers since process start.
+type PoolStats struct {
+	Width    int           // configured parallelism (the default width)
+	Busy     int           // workers currently executing a job
+	JobsDone int64         // jobs executed to completion (including failed ones)
+	BusyTime time.Duration // cumulative wall time inside job functions
+}
+
+// Stats returns the current pool statistics. Safe for concurrent use;
+// memnetd exposes it on /metrics.
+func Stats() PoolStats {
+	return PoolStats{
+		Width:    Parallelism(),
+		Busy:     int(busyWorkers.Load()),
+		JobsDone: jobsDone.Load(),
+		BusyTime: BusyTime(),
+	}
+}
+
+// runJob executes one job function with the busy-worker/busy-time/job
+// ledgers maintained around it.
+func runJob[T any](ctx context.Context, fn func(ctx context.Context, i int) (T, error), i int) (T, error) {
+	busyWorkers.Add(1)
+	start := time.Now()
+	v, err := fn(ctx, i)
+	busyNS.Add(int64(time.Since(start)))
+	busyWorkers.Add(-1)
+	jobsDone.Add(1)
+	return v, err
+}
 
 // Map runs fn(ctx, i) for every i in [0, n) on up to p goroutines and
 // returns the n results in index order. p <= 0 selects the package
@@ -123,9 +162,7 @@ func Map[T any](ctx context.Context, p, n int, fn func(ctx context.Context, i in
 			if err := ctx.Err(); err != nil {
 				return results, err
 			}
-			start := time.Now()
-			v, err := fn(ctx, i)
-			busyNS.Add(int64(time.Since(start)))
+			v, err := runJob(ctx, fn, i)
 			if err != nil {
 				return results, err
 			}
@@ -150,9 +187,7 @@ func Map[T any](ctx context.Context, p, n int, fn func(ctx context.Context, i in
 				if i >= n || cctx.Err() != nil {
 					return
 				}
-				start := time.Now()
-				v, err := fn(cctx, i)
-				busyNS.Add(int64(time.Since(start)))
+				v, err := runJob(cctx, fn, i)
 				if err != nil {
 					errs[i] = err
 					failed.Store(true)

@@ -11,6 +11,8 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+
+	"memnet/internal/telemetry"
 )
 
 // keyLen is the length of a lowercase hex SHA-256 digest.
@@ -22,7 +24,22 @@ const keyLen = 64
 // keys are hashes of the inputs that deterministically produced the value.
 type Store struct {
 	dir string
+	met Counters
 }
+
+// Counters are the store's optional telemetry hooks. Nil counters no-op
+// (the telemetry package's nil-receiver contract), so an uninstrumented
+// store pays nothing.
+type Counters struct {
+	Hits   *telemetry.Counter // Get found the blob
+	Misses *telemetry.Counter // Get found nothing
+	Writes *telemetry.Counter // Put persisted a blob
+	Errors *telemetry.Counter // any Get/Put I/O or key failure
+}
+
+// Instrument attaches telemetry counters to the store. Call before
+// serving; the store never mutates the counters' registration.
+func (s *Store) Instrument(c Counters) { s.met = c }
 
 // Open ensures dir exists and is writable and returns the store. The
 // writability probe fails fast at startup instead of on the first Put
@@ -69,29 +86,36 @@ func (s *Store) path(key string) string {
 // Get returns the blob stored under key, or ok=false if absent.
 func (s *Store) Get(key string) (data []byte, ok bool, err error) {
 	if err := checkKey(key); err != nil {
+		s.met.Errors.Inc()
 		return nil, false, err
 	}
 	data, err = os.ReadFile(s.path(key))
 	if os.IsNotExist(err) {
+		s.met.Misses.Inc()
 		return nil, false, nil
 	}
 	if err != nil {
+		s.met.Errors.Inc()
 		return nil, false, fmt.Errorf("cachedir: %w", err)
 	}
+	s.met.Hits.Inc()
 	return data, true, nil
 }
 
 // Put stores data under key atomically: it lands complete or not at all.
 func (s *Store) Put(key string, data []byte) error {
 	if err := checkKey(key); err != nil {
+		s.met.Errors.Inc()
 		return err
 	}
 	dst := s.path(key)
 	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		s.met.Errors.Inc()
 		return fmt.Errorf("cachedir: %w", err)
 	}
 	tmp, err := os.CreateTemp(filepath.Dir(dst), ".tmp-*")
 	if err != nil {
+		s.met.Errors.Inc()
 		return fmt.Errorf("cachedir: %w", err)
 	}
 	_, werr := tmp.Write(data)
@@ -103,8 +127,10 @@ func (s *Store) Put(key string, data []byte) error {
 	}
 	if werr != nil {
 		os.Remove(tmp.Name())
+		s.met.Errors.Inc()
 		return fmt.Errorf("cachedir: %w", werr)
 	}
+	s.met.Writes.Inc()
 	return nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"memnet/internal/exp"
 )
@@ -13,15 +14,30 @@ import (
 // a full fault schedule — is a few hundred KB; anything bigger is abuse.
 const maxBodyBytes = 1 << 20
 
+// Retry-After values (seconds) for the two backpressure 503s. A full
+// queue clears as soon as the running job finishes, so retry quickly; a
+// draining server is going away, so give a restart time to happen.
+const (
+	retryAfterQueueFull = 5
+	retryAfterDraining  = 30
+)
+
 // Handler returns the server's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
 func (s *Server) buildMux() {
 	mux := http.NewServeMux()
+	// Liveness: the process is up and serving HTTP. Stays 200 during a
+	// drain so an orchestrator does not kill a server that is finishing
+	// its in-flight job.
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	// Readiness: whether new work is being admitted. Flips to 503 the
+	// moment Shutdown begins, so load balancers stop routing here while
+	// the drain completes.
+	mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -29,23 +45,55 @@ func (s *Server) buildMux() {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("POST /v1/run", s.handleRun)
+	if s.cfg.Metrics != nil {
+		mux.Handle("GET /metrics", s.cfg.Metrics.Handler())
+	}
 	s.mux = mux
 }
 
-// httpError writes a JSON error body with the given status.
-func httpError(w http.ResponseWriter, status int, err error) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.Draining() {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterDraining))
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
 }
 
-// submitStatus maps a submission error to an HTTP status.
-func submitStatus(err error) int {
+// writeJSON writes v as the response body with the given status. Encoder
+// failures after the header is out cannot be reported to the client, but
+// they are no longer silently discarded: the structured log gets them.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		s.lg.Error("response encode failed", "err", err)
+	}
+}
+
+// httpError writes a JSON error body with the given status.
+func (s *Server) httpError(w http.ResponseWriter, status int, err error) {
+	s.writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// writeSubmitError maps a submission error to an HTTP response. The two
+// backpressure rejections are 503 with a Retry-After header so
+// well-behaved clients back off instead of hammering the queue;
+// everything else is the caller's fault (400).
+func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
 	switch {
-	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
-		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterQueueFull))
+		s.httpError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterDraining))
+		s.httpError(w, http.StatusServiceUnavailable, err)
 	default:
-		return http.StatusBadRequest
+		s.httpError(w, http.StatusBadRequest, err)
 	}
 }
 
@@ -69,39 +117,35 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 		Name string `json:"name"`
 		Desc string `json:"desc"`
 	}
-	var out []entry
+	// Start non-nil so an empty registry encodes as [], not null —
+	// clients iterating the response should never see a JSON null.
+	out := make([]entry, 0, 16)
 	for _, e := range exp.Experiments() {
 		out = append(out, entry{e.Name, e.Desc})
 	}
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(out)
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(s.Stats())
+	s.writeJSON(w, http.StatusOK, s.Stats())
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	spec, err := decodeSpec(w, r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, http.StatusBadRequest, err)
 		return
 	}
 	key, state, reused, err := s.Submit(spec)
 	if err != nil {
-		httpError(w, submitStatus(err), err)
+		s.writeSubmitError(w, err)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
+	status := http.StatusOK
 	if !reused {
-		w.WriteHeader(http.StatusAccepted)
+		status = http.StatusAccepted
 	}
-	json.NewEncoder(w).Encode(map[string]any{
+	s.writeJSON(w, status, map[string]any{
 		"id": key, "state": state, "reused": reused,
 	})
 }
@@ -114,7 +158,7 @@ func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *job {
 	j, ok := s.jobs[id]
 	s.mu.Unlock()
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q", id))
+		s.httpError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q", id))
 		return nil
 	}
 	return j
@@ -132,12 +176,16 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		"state":      j.state,
 		"events":     len(j.events),
 	}
+	running := j.state == StateRunning
 	if j.errMsg != "" {
 		resp["error"] = j.errMsg
 	}
 	s.mu.Unlock()
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(resp)
+	if running {
+		// The live wall-clock rates: how fast the job is actually moving.
+		resp["progress"] = j.prog.Snapshot()
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
@@ -153,11 +201,11 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, result)
 	case StateFailed:
-		httpError(w, http.StatusInternalServerError, fmt.Errorf("serve: job failed: %s", errMsg))
+		s.httpError(w, http.StatusInternalServerError, fmt.Errorf("serve: job failed: %s", errMsg))
 	case StateAborted:
-		httpError(w, http.StatusGone, fmt.Errorf("serve: job aborted at shutdown"))
+		s.httpError(w, http.StatusGone, fmt.Errorf("serve: job aborted at shutdown"))
 	default:
-		httpError(w, http.StatusNotFound, fmt.Errorf("serve: job is %s; result not ready", state))
+		s.httpError(w, http.StatusNotFound, fmt.Errorf("serve: job is %s; result not ready", state))
 	}
 }
 
@@ -171,12 +219,16 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		httpError(w, http.StatusInternalServerError, fmt.Errorf("serve: streaming unsupported"))
+		s.httpError(w, http.StatusInternalServerError, fmt.Errorf("serve: streaming unsupported"))
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	replay, ch := j.subscribe(&s.mu)
-	defer j.unsubscribe(&s.mu, ch)
+	s.met.subscribers.Add(1)
+	defer func() {
+		j.unsubscribe(&s.mu, ch)
+		s.met.subscribers.Add(-1)
+	}()
 	for _, line := range replay {
 		fmt.Fprintln(w, line)
 	}
@@ -211,12 +263,12 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	spec, err := decodeSpec(w, r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, http.StatusBadRequest, err)
 		return
 	}
 	key, _, _, err := s.Submit(spec)
 	if err != nil {
-		httpError(w, submitStatus(err), err)
+		s.writeSubmitError(w, err)
 		return
 	}
 	result, err := s.Wait(r.Context(), key)
@@ -225,7 +277,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			// Client gone; nothing useful to write.
 			return
 		}
-		httpError(w, http.StatusInternalServerError, err)
+		s.httpError(w, http.StatusInternalServerError, err)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")

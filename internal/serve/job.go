@@ -7,9 +7,11 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"memnet/internal/exp"
 	"memnet/internal/fault"
+	"memnet/internal/telemetry"
 )
 
 // maxFaultEvents bounds an accepted fault schedule. Real schedules have a
@@ -157,6 +159,13 @@ type job struct {
 	key   string
 	state string
 
+	// queuedAt (wall clock) feeds the queue-wait histogram; prog converts
+	// the job's simulated-time progress events into wall-clock rates.
+	// Both are immutable pointers/stamps set at creation, so telemetry
+	// readers never race job-state mutation.
+	queuedAt time.Time
+	prog     *telemetry.Progress
+
 	result  string // rendered experiment text (terminal state "done")
 	errMsg  string // terminal state "failed"
 	events  []string
@@ -168,11 +177,13 @@ type job struct {
 
 func newJob(spec *JobSpec, key string) *job {
 	return &job{
-		spec:  spec,
-		key:   key,
-		state: StateQueued,
-		subs:  make(map[chan string]struct{}),
-		done:  make(chan struct{}),
+		spec:     spec,
+		key:      key,
+		state:    StateQueued,
+		queuedAt: time.Now(),
+		prog:     telemetry.NewProgress(nil),
+		subs:     make(map[chan string]struct{}),
+		done:     make(chan struct{}),
 	}
 }
 

@@ -18,28 +18,41 @@
 //
 // # HTTP API
 //
-//	GET  /v1/healthz            liveness probe
+//	GET  /v1/healthz            liveness probe (200 even while draining)
+//	GET  /v1/readyz             readiness probe (503 once draining starts)
 //	GET  /v1/experiments        the experiment registry (JSON)
 //	GET  /v1/stats              queue/cache/simulation counters (JSON)
+//	GET  /metrics               Prometheus text exposition (with Config.Metrics)
 //	POST /v1/jobs               submit a JobSpec; returns id + state
-//	GET  /v1/jobs/{id}          job status (JSON)
+//	GET  /v1/jobs/{id}          job status (JSON; live progress rates while running)
 //	GET  /v1/jobs/{id}/events   progress stream (JSON lines, replay + live)
 //	GET  /v1/jobs/{id}/result   the result text (404 until done)
 //	POST /v1/run                submit and wait; returns the result text
+//
+// Telemetry is wall-clock and strictly passive: the simulated-time
+// observability in internal/obs pins byte-identical results on/off, and
+// this layer only ever timestamps serving-side events (queue waits, run
+// durations, progress arrival), so served output is byte-identical with
+// a metrics registry attached or not.
 package serve
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"log"
+	"log/slog"
 	"net/http"
+	"os"
 	"sync"
+	"time"
 
 	"memnet/internal/core"
 	"memnet/internal/exp"
 	"memnet/internal/obs"
 	"memnet/internal/serve/cachedir"
+	"memnet/internal/telemetry"
 )
 
 // Sentinel submission errors; the HTTP layer maps them to status codes.
@@ -81,26 +94,53 @@ type Config struct {
 	CacheDir string
 	// Runner executes jobs (default RegistryRunner).
 	Runner Runner
-	// Log receives one line per lifecycle event (nil = log.Default).
+	// Log selects the destination for lifecycle logs when Logger is nil:
+	// its writer receives the structured JSON lines. Kept as a *log.Logger
+	// so existing callers (and tests passing io.Discard) keep working.
 	Log *log.Logger
+	// Logger receives structured lifecycle logs, keyed by job
+	// content-address under the "job" attribute. Nil falls back to a JSON
+	// logger on Log's writer (or stderr when Log is also nil).
+	Logger *slog.Logger
+	// Metrics, when non-nil, receives the server's wall-clock telemetry
+	// (queue depth, cache hits, latency histograms, per-job progress
+	// rates) and is exposed as GET /metrics on the server's handler.
+	// Nil disables telemetry at zero cost: the instrumented call sites
+	// hold nil metrics, whose methods no-op allocation-free.
+	Metrics *telemetry.Registry
 }
 
 // Stats are the server's monotonic counters plus current queue state.
 type Stats struct {
 	SimulationsRun int64 `json:"simulations_run"` // jobs actually executed
 	CacheHits      int64 `json:"cache_hits"`      // submissions answered from a completed result
+	CacheHitsDisk  int64 `json:"cache_hits_disk"` // subset of CacheHits revived from the disk cache
 	Deduped        int64 `json:"deduped"`         // submissions attached to an identical queued/running job
 	Rejected       int64 `json:"rejected"`        // submissions refused (queue full)
 	Failed         int64 `json:"jobs_failed"`
 	Queued         int   `json:"queued"`
 	Running        int   `json:"running"`
+	Draining       bool  `json:"draining"`
+
+	// Progress is the wall-clock progress of the running job (nil when
+	// idle): how fast simulated time is advancing in real seconds, and
+	// how long since the job last reported anything.
+	Progress *JobProgress `json:"progress,omitempty"`
+}
+
+// JobProgress is the running job's live wall-clock progress view.
+type JobProgress struct {
+	Job        string `json:"job"`        // content-address key
+	Experiment string `json:"experiment"` // registry name
+	telemetry.ProgressSnapshot
 }
 
 // Server owns the job table, the queue and the single dispatcher
 // goroutine. Create with New, serve its Handler, stop with Shutdown.
 type Server struct {
 	cfg  Config
-	lg   *log.Logger
+	lg   *slog.Logger
+	met  *serveMetrics
 	disk *cachedir.Store
 	mux  *http.ServeMux
 
@@ -131,22 +171,28 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Runner == nil {
 		cfg.Runner = RegistryRunner
 	}
-	if cfg.Log == nil {
-		cfg.Log = log.Default()
+	if cfg.Logger == nil {
+		w := io.Writer(os.Stderr)
+		if cfg.Log != nil {
+			w = cfg.Log.Writer()
+		}
+		cfg.Logger = telemetry.NewLogger(w)
 	}
 	s := &Server{
 		cfg:            cfg,
-		lg:             cfg.Log,
+		lg:             cfg.Logger,
 		jobs:           make(map[string]*job),
 		queue:          make(map[string][]*job),
 		dispatcherDone: make(chan struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	s.met = newServeMetrics(cfg.Metrics, s)
 	if cfg.CacheDir != "" {
 		disk, err := cachedir.Open(cfg.CacheDir)
 		if err != nil {
 			return nil, err
 		}
+		disk.Instrument(s.met.diskCounters())
 		s.disk = disk
 	}
 	s.buildMux()
@@ -154,14 +200,44 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// Draining reports whether the server has begun shutting down (the
+// readiness signal behind /v1/readyz).
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// progressSnapshot returns the running job's wall-clock progress (zero
+// when idle). Scrape-time callbacks read it outside the registry lock.
+func (s *Server) progressSnapshot() telemetry.ProgressSnapshot {
+	s.mu.Lock()
+	j := s.running
+	s.mu.Unlock()
+	if j == nil {
+		return telemetry.ProgressSnapshot{}
+	}
+	return j.prog.Snapshot()
+}
+
 // Stats returns a snapshot of the counters.
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	st := s.stats
 	st.Queued = s.queuedN
-	if s.running != nil {
+	st.Draining = s.draining
+	j := s.running
+	if j != nil {
 		st.Running = 1
+	}
+	s.mu.Unlock()
+	if j != nil {
+		// Snapshot outside the server lock: the tracker has its own.
+		st.Progress = &JobProgress{
+			Job:              j.key,
+			Experiment:       j.spec.Experiment,
+			ProgressSnapshot: j.prog.Snapshot(),
+		}
 	}
 	return st
 }
@@ -196,14 +272,16 @@ func (s *Server) admit(spec *JobSpec) (*job, bool, error) {
 			// Failed results are cached too: the simulator is
 			// deterministic, so the same spec fails the same way.
 			s.stats.CacheHits++
+			s.met.cacheHitMem.Inc()
 		default:
 			s.stats.Deduped++
+			s.met.deduped.Inc()
 		}
 		return j, true, nil
 	}
 	if s.disk != nil {
 		if data, ok, err := s.disk.Get(key); err != nil {
-			s.lg.Printf("serve: disk cache read %s: %v", key[:12], err)
+			s.lg.Error("disk cache read failed", "job", key, "err", err)
 		} else if ok {
 			j := newJob(spec, key)
 			j.state = StateDone
@@ -211,14 +289,18 @@ func (s *Server) admit(spec *JobSpec) (*job, bool, error) {
 			close(j.done)
 			s.jobs[key] = j
 			s.stats.CacheHits++
+			s.stats.CacheHitsDisk++
+			s.met.cacheHitDisk.Inc()
 			return j, true, nil
 		}
 	}
 	if s.draining {
+		s.met.rejectedDrain.Inc()
 		return nil, false, ErrDraining
 	}
 	if s.queuedN >= s.cfg.QueueCap {
 		s.stats.Rejected++
+		s.met.rejectedFull.Inc()
 		return nil, false, ErrQueueFull
 	}
 	j := newJob(spec, key)
@@ -232,7 +314,11 @@ func (s *Server) admit(spec *JobSpec) (*job, bool, error) {
 	}
 	s.queue[client] = append(s.queue[client], j)
 	s.queuedN++
-	s.lg.Printf("serve: queued %s %s (client %s, %d queued)", spec.Experiment, key[:12], client, s.queuedN)
+	s.met.cacheMiss.Inc()
+	s.met.queuedTotal.Inc()
+	s.met.queueDepth.Set(int64(s.queuedN))
+	s.met.setClientQueuesLocked(s.queue)
+	s.lg.Info("job queued", "job", key, "experiment", spec.Experiment, "client", client, "queued", s.queuedN)
 	s.cond.Signal()
 	return j, false, nil
 }
@@ -284,6 +370,10 @@ func (s *Server) dispatch() {
 		j := s.pickLocked()
 		j.state = StateRunning
 		s.running = j
+		s.met.queueDepth.Set(int64(s.queuedN))
+		s.met.setClientQueuesLocked(s.queue)
+		s.met.queueWait.Observe(time.Since(j.queuedAt).Seconds())
+		s.met.runningJobs.Set(1)
 		j.publishLocked(fmt.Sprintf(`{"event":"job_running","id":%q}`, j.key))
 		s.mu.Unlock()
 
@@ -291,6 +381,7 @@ func (s *Server) dispatch() {
 
 		s.mu.Lock()
 		s.running = nil
+		s.met.runningJobs.Set(0)
 		s.mu.Unlock()
 	}
 }
@@ -324,9 +415,12 @@ func (s *Server) execute(j *job) {
 	if j.spec.Faults != nil {
 		core.SetFaultDefault(j.spec.Faults)
 	}
+	start := time.Now()
 	out, err := s.cfg.Runner(j.spec)
+	elapsed := time.Since(start)
 	core.SetFaultDefault(nil)
 	core.SetProgressDefault(nil)
+	s.met.runSeconds.Observe(elapsed.Seconds())
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -335,16 +429,20 @@ func (s *Server) execute(j *job) {
 		j.state = StateFailed
 		j.errMsg = err.Error()
 		s.stats.Failed++
-		s.lg.Printf("serve: job %s failed: %v", j.key[:12], err)
+		s.met.jobsFailed.Inc()
+		s.lg.Error("job failed", "job", j.key, "experiment", j.spec.Experiment,
+			"wall_seconds", elapsed.Seconds(), "err", err)
 	} else {
 		j.state = StateDone
 		j.result = out
-		s.lg.Printf("serve: job %s done (%d bytes)", j.key[:12], len(out))
+		s.met.jobsDone.Inc()
+		s.lg.Info("job done", "job", j.key, "experiment", j.spec.Experiment,
+			"wall_seconds", elapsed.Seconds(), "bytes", len(out))
 		if s.disk != nil {
 			if derr := s.disk.Put(j.key, []byte(out)); derr != nil {
 				// The in-memory result is still served; only persistence
 				// across restarts is degraded.
-				s.lg.Printf("serve: disk cache write %s: %v", j.key[:12], derr)
+				s.lg.Error("disk cache write failed", "job", j.key, "err", derr)
 			}
 		}
 	}
@@ -352,9 +450,13 @@ func (s *Server) execute(j *job) {
 	close(j.done)
 }
 
-// publishProgress marshals one progress event onto the job's stream. It is
-// called concurrently from the worker goroutines of the running sweep.
+// publishProgress marshals one progress event onto the job's stream and
+// wall-stamps it into the job's rate tracker. It is called concurrently
+// from the worker goroutines of the running sweep; the bridge is passive
+// — it observes the event after the simulation emitted it, so telemetry
+// can never perturb a run.
 func (s *Server) publishProgress(j *job, ev obs.ProgressEvent) {
+	j.prog.Observe(int64(ev.At))
 	line := fmt.Sprintf(`{"event":%q,"run":%q,"phase":%q,"at_ps":%d}`,
 		ev.Event, ev.Run, ev.Phase, int64(ev.At))
 	s.mu.Lock()
@@ -379,15 +481,19 @@ func (s *Server) abortQueuedLocked() {
 			j.publishLocked(terminalLine(j))
 			close(j.done)
 			s.queuedN--
+			s.met.jobsAborted.Inc()
+			s.lg.Info("job aborted at shutdown", "job", j.key, "experiment", j.spec.Experiment)
 		}
 		delete(s.queue, c)
 	}
 	s.clients = nil
 	if s.queuedN != 0 {
 		// Defensive: the counters above are the only mutators.
-		s.lg.Printf("serve: queue accounting off by %d at shutdown", s.queuedN)
+		s.lg.Error("queue accounting off at shutdown", "delta", s.queuedN)
 		s.queuedN = 0
 	}
+	s.met.queueDepth.Set(0)
+	s.met.setClientQueuesLocked(s.queue)
 }
 
 // Shutdown drains the server: no new submissions are admitted, the
@@ -398,8 +504,10 @@ func (s *Server) abortQueuedLocked() {
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
+	s.met.draining.Set(1)
 	s.cond.Broadcast()
 	s.mu.Unlock()
+	s.lg.Info("draining", "queued", s.Stats().Queued)
 	select {
 	case <-s.dispatcherDone:
 		return nil

@@ -1,0 +1,388 @@
+package serve_test
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"memnet/internal/serve"
+	"memnet/internal/telemetry"
+)
+
+// scrape fetches and parses /metrics from a test server.
+func scrape(t *testing.T, ts *httptest.Server) []telemetry.Sample {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	samples, err := telemetry.ParseText(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return samples
+}
+
+// metric returns a sample's value, failing the test when absent.
+func metric(t *testing.T, samples []telemetry.Sample, name string, pairs ...string) float64 {
+	t.Helper()
+	s, ok := telemetry.Find(samples, name, pairs...)
+	if !ok {
+		t.Fatalf("metric %s %v not exposed", name, pairs)
+	}
+	return s.Value
+}
+
+// TestMetricsEndToEnd runs jobs through an instrumented server and checks
+// the whole telemetry surface on /metrics: cache-hit split, queue/run
+// histograms, terminal-state counters, pool stats, and concurrent scrapes
+// while a job is in flight (run with -race to make the last part count).
+func TestMetricsEndToEnd(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	gate := make(chan struct{})
+	started := make(chan string, 8)
+	runner, _ := countingRunner(gate, started)
+	s := newServer(t, serve.Config{Runner: runner, Metrics: reg, CacheDir: t.TempDir()})
+	defer s.Shutdown(ctxT(t))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Concurrent scrapers hammer /metrics for the duration of the test.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					resp, err := http.Get(ts.URL + "/metrics")
+					if err == nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+				}
+			}
+		}()
+	}
+
+	// Run one job, then hit its cache twice.
+	key, _, _, err := s.Submit(spec("fig7", 0.1, "alice"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	samples := scrape(t, ts)
+	if got := metric(t, samples, "memnetd_running_jobs"); got != 1 {
+		t.Fatalf("running_jobs mid-flight = %v, want 1", got)
+	}
+	close(gate)
+	if _, err := s.Wait(ctxT(t), key); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, _, reused, err := s.Submit(spec("fig7", 0.1, "bob")); err != nil || !reused {
+			t.Fatalf("resubmit %d: reused=%v err=%v", i, reused, err)
+		}
+	}
+
+	samples = scrape(t, ts)
+	if got := metric(t, samples, "memnetd_cache_hits_total", "tier", "memory"); got != 2 {
+		t.Fatalf("memory cache hits = %v, want 2", got)
+	}
+	if got := metric(t, samples, "memnetd_cache_misses_total"); got != 1 {
+		t.Fatalf("cache misses = %v, want 1", got)
+	}
+	if got := metric(t, samples, "memnetd_jobs_total", "state", "done"); got != 1 {
+		t.Fatalf("jobs done = %v, want 1", got)
+	}
+	if got := metric(t, samples, "memnetd_queue_wait_seconds_count"); got != 1 {
+		t.Fatalf("queue wait observations = %v, want 1", got)
+	}
+	if got := metric(t, samples, "memnetd_run_seconds_count"); got != 1 {
+		t.Fatalf("run duration observations = %v, want 1", got)
+	}
+	if got := metric(t, samples, "memnetd_disk_cache_writes_total"); got != 1 {
+		t.Fatalf("disk writes = %v, want 1", got)
+	}
+	if got := metric(t, samples, "memnetd_queue_depth"); got != 0 {
+		t.Fatalf("queue depth at rest = %v, want 0", got)
+	}
+	if got := metric(t, samples, "memnetd_pool_width"); got < 1 {
+		t.Fatalf("pool width = %v, want >= 1", got)
+	}
+	if got := metric(t, samples, "memnetd_running_jobs"); got != 0 {
+		t.Fatalf("running_jobs at rest = %v, want 0", got)
+	}
+
+	close(stop)
+	wg.Wait()
+}
+
+// TestPerClientQueueGauges checks the per-client queue-length series and
+// the _other aggregation beyond the cardinality cap.
+func TestPerClientQueueGauges(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	gate := make(chan struct{}, 64)
+	started := make(chan string, 64)
+	runner, _ := countingRunner(gate, started)
+	s := newServer(t, serve.Config{Runner: runner, Metrics: reg, QueueCap: 64})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// A blocker pins the dispatcher so queued work stays visible.
+	if _, _, _, err := s.Submit(spec("fig7", 0.9, "zed")); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, _, _, err := s.Submit(spec("fig7", 0.11, "alice")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := s.Submit(spec("fig7", 0.12, "alice")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := s.Submit(spec("fig7", 0.21, "bob")); err != nil {
+		t.Fatal(err)
+	}
+	samples := scrape(t, ts)
+	if got := metric(t, samples, "memnetd_client_queue_length", "client", "alice"); got != 2 {
+		t.Fatalf("alice queue length = %v, want 2", got)
+	}
+	if got := metric(t, samples, "memnetd_client_queue_length", "client", "bob"); got != 1 {
+		t.Fatalf("bob queue length = %v, want 1", got)
+	}
+	if got := metric(t, samples, "memnetd_queue_depth"); got != 3 {
+		t.Fatalf("queue depth = %v, want 3", got)
+	}
+	for i := 0; i < 8; i++ {
+		gate <- struct{}{}
+	}
+	s.Shutdown(ctxT(t))
+}
+
+// TestReadyzFlipsDuringShutdown is the liveness/readiness split: healthz
+// stays 200 throughout, readyz flips to 503 (with Retry-After) the moment
+// Shutdown begins draining, while the in-flight job is still running.
+func TestReadyzFlipsDuringShutdown(t *testing.T) {
+	gate := make(chan struct{})
+	started := make(chan string, 8)
+	runner, _ := countingRunner(gate, started)
+	s := newServer(t, serve.Config{Runner: runner})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	status := func(path string) int {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := status("/v1/readyz"); got != http.StatusOK {
+		t.Fatalf("readyz before shutdown = %d, want 200", got)
+	}
+
+	if _, _, _, err := s.Submit(spec("fig7", 0.1, "a")); err != nil {
+		t.Fatal(err)
+	}
+	<-started // in-flight
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- s.Shutdown(ctxT(t)) }()
+
+	// Readiness must flip while the job is still draining.
+	deadline := time.Now().Add(testTimeout)
+	for status("/v1/readyz") != http.StatusServiceUnavailable {
+		if time.Now().After(deadline) {
+			t.Fatal("readyz never flipped to 503 during drain")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	resp, err := http.Get(ts.URL + "/v1/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("draining readyz carries no Retry-After")
+	}
+	if got := status("/v1/healthz"); got != http.StatusOK {
+		t.Fatalf("healthz during drain = %d, want 200 (liveness is not readiness)", got)
+	}
+	close(gate)
+	if err := <-shutdownDone; err != nil {
+		t.Fatal(err)
+	}
+	if got := status("/v1/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("readyz after drain = %d, want 503", got)
+	}
+}
+
+// TestRetryAfterOn503 checks both backpressure rejections carry the
+// Retry-After header over HTTP.
+func TestRetryAfterOn503(t *testing.T) {
+	gate := make(chan struct{})
+	started := make(chan string, 8)
+	runner, _ := countingRunner(gate, started)
+	s := newServer(t, serve.Config{Runner: runner, QueueCap: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(body string) *http.Response {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp
+	}
+	post(`{"experiment":"fig7","scale":0.1}`)
+	<-started                                 // running
+	post(`{"experiment":"fig7","scale":0.2}`) // fills the queue (cap 1)
+	resp := post(`{"experiment":"fig7","scale":0.3}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overfull queue status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("queue-full 503 carries no Retry-After")
+	}
+	// A plain 400 must NOT advertise a retry.
+	bad := post(`{"experiment":"fig99"}`)
+	if bad.StatusCode != http.StatusBadRequest || bad.Header.Get("Retry-After") != "" {
+		t.Fatalf("bad spec: status %d, Retry-After %q", bad.StatusCode, bad.Header.Get("Retry-After"))
+	}
+
+	go func() {
+		shutdownErr := s.Shutdown(ctxT(t))
+		_ = shutdownErr
+	}()
+	deadline := time.Now().Add(testTimeout)
+	for {
+		_, _, _, err := s.Submit(spec("fig7", 0.4, "a"))
+		if errors.Is(err, serve.ErrDraining) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never started draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	resp = post(`{"experiment":"fig7","scale":0.5}`)
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("draining 503: status %d, Retry-After %q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	close(gate)
+}
+
+// TestSubscriberGauge counts live event-stream followers up and down.
+func TestSubscriberGauge(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	gate := make(chan struct{})
+	started := make(chan string, 8)
+	runner, _ := countingRunner(gate, started)
+	s := newServer(t, serve.Config{Runner: runner, Metrics: reg})
+	defer s.Shutdown(ctxT(t))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	key, _, _, err := s.Submit(spec("fig7", 0.1, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + key + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read the replay line so the handler is known to be inside its loop.
+	br := bufio.NewReader(resp.Body)
+	if _, err := br.ReadString('\n'); err != nil {
+		t.Fatal(err)
+	}
+	if got := metric(t, scrape(t, ts), "memnetd_event_subscribers"); got != 1 {
+		t.Fatalf("subscribers while streaming = %v, want 1", got)
+	}
+	close(gate)
+	if _, err := s.Wait(ctxT(t), key); err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, br)
+	resp.Body.Close()
+	deadline := time.Now().Add(testTimeout)
+	for metric(t, scrape(t, ts), "memnetd_event_subscribers") != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("subscriber gauge never returned to 0")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestExperimentsNeverNull: the registry listing is a JSON array even in
+// the degenerate case, and the response decodes as such.
+func TestExperimentsNeverNull(t *testing.T) {
+	runner, _ := countingRunner(nil, nil)
+	s := newServer(t, serve.Config{Runner: runner})
+	defer s.Shutdown(ctxT(t))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	trimmed := strings.TrimSpace(string(body))
+	if !strings.HasPrefix(trimmed, "[") {
+		t.Fatalf("experiments listing is not a JSON array: %q", trimmed)
+	}
+	if trimmed == "null" {
+		t.Fatal("experiments listing encoded null")
+	}
+}
+
+// TestStatsProgress checks /v1/stats carries the running job's wall-clock
+// progress block and drops it once idle.
+func TestStatsProgress(t *testing.T) {
+	gate := make(chan struct{})
+	started := make(chan string, 8)
+	runner, _ := countingRunner(gate, started)
+	s := newServer(t, serve.Config{Runner: runner})
+	defer s.Shutdown(ctxT(t))
+
+	key, _, _, err := s.Submit(spec("fig7", 0.1, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	st := s.Stats()
+	if st.Progress == nil || st.Progress.Job != key || st.Progress.Experiment != "fig7" {
+		t.Fatalf("running stats progress = %+v", st.Progress)
+	}
+	close(gate)
+	if _, err := s.Wait(ctxT(t), key); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(testTimeout)
+	for s.Stats().Progress != nil {
+		if time.Now().After(deadline) {
+			t.Fatal("progress block never cleared after completion")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

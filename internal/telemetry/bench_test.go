@@ -1,0 +1,70 @@
+package telemetry
+
+import "testing"
+
+// BenchmarkCounterDisabled measures the disabled path — nil metrics, what
+// every instrumented component holds when telemetry is off. Must report
+// 0 allocs/op; TestHotPathAllocs enforces that under plain `go test`.
+func BenchmarkCounterDisabled(b *testing.B) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		g.Set(int64(i))
+		h.Observe(float64(i))
+	}
+}
+
+// BenchmarkCounterHot measures the enabled increment path: one atomic add.
+// Must also report 0 allocs/op.
+func BenchmarkCounterHot(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("ops_total", "ops")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+	if c.Value() != int64(b.N) {
+		b.Fatal("lost increments")
+	}
+}
+
+// BenchmarkHistogramHot measures the enabled observe path: a bounded
+// bucket scan plus atomic adds. 0 allocs/op.
+func BenchmarkHistogramHot(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "lat", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%300) / 10)
+	}
+}
+
+// TestHotPathAllocs pins the disabled and hot metric paths at zero
+// allocations without needing -bench, so a regression fails ordinary CI.
+func TestHotPathAllocs(t *testing.T) {
+	var nc *Counter
+	var nh *Histogram
+	if n := testing.AllocsPerRun(1000, func() {
+		nc.Inc()
+		nh.Observe(1)
+	}); n != 0 {
+		t.Fatalf("disabled path allocates %v/op, want 0", n)
+	}
+	r := NewRegistry()
+	c := r.Counter("ops_total", "ops")
+	g := r.Gauge("depth", "d")
+	h := r.Histogram("lat_seconds", "l", nil)
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Add(1)
+		h.Observe(2.5)
+	}); n != 0 {
+		t.Fatalf("hot path allocates %v/op, want 0", n)
+	}
+}

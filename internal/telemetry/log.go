@@ -1,0 +1,20 @@
+package telemetry
+
+import (
+	"io"
+	"log/slog"
+)
+
+// NewLogger returns a structured JSON logger writing one object per line
+// to w — the log format of the serving stack. Serving-layer call sites
+// attach the job content-address under the "job" key so every line about
+// a job is greppable/joinable by the same id a client holds.
+func NewLogger(w io.Writer) *slog.Logger {
+	return slog.New(slog.NewJSONHandler(w, nil))
+}
+
+// DiscardLogger returns a logger that drops everything (for tests and
+// fully disabled telemetry).
+func DiscardLogger() *slog.Logger {
+	return slog.New(slog.NewJSONHandler(io.Discard, nil))
+}

@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Progress converts a stream of simulated-time progress events (the
+// internal/obs ProgressEvent hook) into wall-clock rates for one running
+// job: how many simulated picoseconds the run advances per real second,
+// and how many events it emits per second. A job that stops moving is
+// visible from outside as a growing SinceLastEvent with flat rates —
+// exactly what an operator needs to tell "slow" from "stuck".
+//
+// The tracker is passive: it only timestamps events it is handed, on the
+// serving side of the progress hook, so it can never perturb a
+// simulation. Observe and Snapshot are safe for concurrent use (parallel
+// runs emit events from many goroutines). A nil *Progress no-ops.
+type Progress struct {
+	now func() time.Time // injectable clock; nil = time.Now
+
+	mu     sync.Mutex
+	start  time.Time // first Observe
+	last   time.Time // most recent Observe
+	events int64
+	maxPs  int64 // high-water simulated time over all runs of the job
+}
+
+// NewProgress returns a tracker using the given clock (nil = time.Now).
+func NewProgress(now func() time.Time) *Progress {
+	if now == nil {
+		now = time.Now
+	}
+	return &Progress{now: now}
+}
+
+// Observe records one progress event carrying the run's simulated time in
+// picoseconds, wall-stamped at the moment of the call.
+func (p *Progress) Observe(atPs int64) {
+	if p == nil {
+		return
+	}
+	t := p.now()
+	p.mu.Lock()
+	if p.events == 0 {
+		p.start = t
+	}
+	p.last = t
+	p.events++
+	if atPs > p.maxPs {
+		p.maxPs = atPs
+	}
+	p.mu.Unlock()
+}
+
+// ProgressSnapshot is one point-in-time reading of a job's wall-clock
+// progress rates.
+type ProgressSnapshot struct {
+	// Events is the number of progress events observed so far.
+	Events int64 `json:"events"`
+	// SimPs is the furthest simulated time (ps) any run of the job has
+	// reported.
+	SimPs int64 `json:"sim_ps"`
+	// WallSeconds is the wall time elapsed since the first event.
+	WallSeconds float64 `json:"wall_seconds"`
+	// PsPerSecond is SimPs advanced per wall-second since the first event.
+	PsPerSecond float64 `json:"sim_ps_per_second"`
+	// EventsPerSecond is the event emission rate since the first event.
+	EventsPerSecond float64 `json:"events_per_second"`
+	// SinceLastEvent is the wall seconds since the most recent event — the
+	// "is it stuck?" number.
+	SinceLastEvent float64 `json:"since_last_event_seconds"`
+}
+
+// Snapshot returns the current rates. Rates are averaged over the whole
+// observation window; they are zero until two distinct wall instants have
+// been observed.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	if p == nil {
+		return ProgressSnapshot{}
+	}
+	t := p.now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := ProgressSnapshot{Events: p.events, SimPs: p.maxPs}
+	if p.events == 0 {
+		return s
+	}
+	s.WallSeconds = t.Sub(p.start).Seconds()
+	s.SinceLastEvent = t.Sub(p.last).Seconds()
+	if s.WallSeconds > 0 {
+		s.PsPerSecond = float64(p.maxPs) / s.WallSeconds
+		s.EventsPerSecond = float64(p.events) / s.WallSeconds
+	}
+	return s
+}

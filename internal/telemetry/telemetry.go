@@ -1,0 +1,417 @@
+// Package telemetry is the wall-clock observability layer of the serving
+// stack: a zero-dependency metrics registry (counters, gauges and
+// fixed-bucket histograms) with Prometheus text-format exposition, plus a
+// structured-logging helper and a progress-rate bridge.
+//
+// It is deliberately distinct from internal/obs, which records *simulated*
+// time (picoseconds inside a run, byte-identical output on/off). This
+// package records *wall-clock* time around runs: how deep the job queue
+// is, how long a job waited, how fast a running simulation is advancing
+// in real seconds. Neither layer ever perturbs a simulation — telemetry
+// observes the serving machinery, never the event engine.
+//
+// The hot path is allocation-free and lock-free: Counter/Gauge updates
+// are single atomic adds, Histogram.Observe is a bounded linear scan plus
+// two atomic adds, and every method is nil-safe so an uninstrumented
+// component (nil *Counter, nil *Registry) pays only a predicted branch.
+// BenchmarkCounterDisabled/BenchmarkCounterHot pin both paths at
+// 0 allocs/op.
+//
+// Registration is idempotent: asking for an existing name+labels series
+// returns the same metric, so components can re-register freely.
+// Exposition snapshots the series list under the registry lock and
+// renders (including GaugeFunc callbacks) outside it, so a callback may
+// take whatever locks it needs without risking lock-order inversion
+// against a concurrent scrape.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready to
+// use; a nil *Counter is a valid disabled counter whose methods no-op.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (negative n is ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if c != nil && n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an integer metric that can go up and down. A nil *Gauge is a
+// valid disabled gauge.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adds d (which may be negative).
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// Value returns the current value (0 for a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// DefBuckets are the default histogram bounds (seconds): they span the
+// sub-millisecond HTTP handling range up to multi-minute sweep jobs.
+var DefBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300}
+
+// Histogram counts observations into fixed buckets chosen at registration.
+// Bounds are inclusive upper limits (Prometheus "le" semantics); an
+// implicit +Inf bucket catches the rest. Observe is lock-free: one bounded
+// scan over the bounds plus two atomic adds. A nil *Histogram no-ops.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64 // len(bounds)+1; the last is +Inf
+	count   atomic.Int64
+	sumBits atomic.Uint64 // math.Float64bits of the running sum
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// metric kinds, doubling as the Prometheus TYPE strings.
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+// series is one labeled instance within a family.
+type series struct {
+	labels string // rendered {k="v",...} block, "" when unlabeled
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	fn     func() float64 // CounterFunc/GaugeFunc callback
+}
+
+// family groups every series sharing a metric name (one HELP/TYPE block).
+type family struct {
+	name, help, kind string
+	order            []*series
+	byLabels         map[string]*series
+}
+
+// Registry holds named metrics and renders them in Prometheus text format.
+// A nil *Registry is a valid disabled registry: every constructor returns
+// a nil metric whose methods no-op, which is how telemetry is switched
+// off without branching at call sites.
+type Registry struct {
+	mu     sync.Mutex
+	order  []*family
+	byName map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// lookup finds or creates the family and series for name+labels, checking
+// kind consistency. Returns nil when the series is new (caller fills it).
+func (r *Registry) lookup(name, help, kind string, labels []string) (*family, *series, string) {
+	lb := renderLabels(labels)
+	f, ok := r.byName[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, byLabels: make(map[string]*series)}
+		r.byName[name] = f
+		r.order = append(r.order, f)
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: %s registered as %s, re-requested as %s", name, f.kind, kind))
+	}
+	return f, f.byLabels[lb], lb
+}
+
+// Counter registers (or returns the existing) counter for name and the
+// given constant label pairs ("key", "value", ...).
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, s, lb := r.lookup(name, help, kindCounter, labels)
+	if s != nil {
+		return s.c
+	}
+	s = &series{labels: lb, c: &Counter{}}
+	f.byLabels[lb] = s
+	f.order = append(f.order, s)
+	return s.c
+}
+
+// Gauge registers (or returns the existing) gauge.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, s, lb := r.lookup(name, help, kindGauge, labels)
+	if s != nil {
+		return s.g
+	}
+	s = &series{labels: lb, g: &Gauge{}}
+	f.byLabels[lb] = s
+	f.order = append(f.order, s)
+	return s.g
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at scrape
+// time. fn runs outside the registry lock and may itself take locks.
+// Re-registering an existing name+labels keeps the first callback.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	r.registerFunc(name, help, kindGauge, fn, labels)
+}
+
+// CounterFunc registers a counter whose cumulative value is computed by fn
+// at scrape time (for externally accumulated totals, e.g. pool busy time).
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...string) {
+	r.registerFunc(name, help, kindCounter, fn, labels)
+}
+
+func (r *Registry) registerFunc(name, help, kind string, fn func() float64, labels []string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, s, lb := r.lookup(name, help, kind, labels)
+	if s != nil {
+		return
+	}
+	s = &series{labels: lb, fn: fn}
+	f.byLabels[lb] = s
+	f.order = append(f.order, s)
+}
+
+// Histogram registers (or returns the existing) histogram with the given
+// inclusive upper bounds (nil bounds = DefBuckets). Bounds must be sorted
+// ascending and unique.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic(fmt.Sprintf("telemetry: %s: histogram bounds not sorted", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, s, lb := r.lookup(name, help, kindHistogram, labels)
+	if s != nil {
+		return s.h
+	}
+	h := &Histogram{bounds: append([]float64(nil), bounds...)}
+	h.buckets = make([]atomic.Int64, len(bounds)+1)
+	s = &series{labels: lb, h: h}
+	f.byLabels[lb] = s
+	f.order = append(f.order, s)
+	return s.h
+}
+
+// famSnap is the scrape-time copy of a family: taken under the lock,
+// rendered outside it (series are append-only, so sharing the backing
+// array with concurrent registration is safe).
+type famSnap struct {
+	name, help, kind string
+	series           []*series
+}
+
+// snapshot copies the family list under the lock.
+func (r *Registry) snapshot() []famSnap {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]famSnap, 0, len(r.order))
+	for _, f := range r.order {
+		out = append(out, famSnap{f.name, f.help, f.kind, f.order[:len(f.order):len(f.order)]})
+	}
+	return out
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4). Families appear in registration
+// order, series within a family likewise, so successive scrapes are
+// layout-stable. Callback metrics are evaluated outside the registry lock.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var b strings.Builder
+	for _, f := range r.snapshot() {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.series {
+			switch {
+			case s.c != nil:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, s.labels, s.c.Value())
+			case s.g != nil:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, s.labels, s.g.Value())
+			case s.fn != nil:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, formatFloat(s.fn()))
+			case s.h != nil:
+				writeHistogram(&b, f.name, s.labels, s.h)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram renders one histogram series: cumulative le buckets,
+// then _sum and _count.
+func writeHistogram(b *strings.Builder, name, labels string, h *Histogram) {
+	cum := int64(0)
+	for i, bound := range h.bounds {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, mergeLabels(labels, `le="`+formatFloat(bound)+`"`), cum)
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, mergeLabels(labels, `le="+Inf"`), cum)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, labels, formatFloat(h.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, labels, h.count.Load())
+}
+
+// Handler returns an http.Handler serving the registry as /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// The registry snapshot cannot fail; only the client write can,
+		// and there is nobody left to report that to.
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// renderLabels turns alternating key/value pairs into a `{k="v",...}`
+// block ("" for no labels). Values are escaped per the exposition format.
+func renderLabels(pairs []string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	if len(pairs)%2 != 0 {
+		panic(fmt.Sprintf("telemetry: odd label list %q", pairs))
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i < len(pairs); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(pairs[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(pairs[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// mergeLabels splices an extra label into a rendered label block.
+func mergeLabels(labels, extra string) string {
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// escapeHelp escapes a HELP string (backslash and newline only).
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// formatFloat renders a float the way Prometheus expects: shortest
+// round-trip representation, with +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

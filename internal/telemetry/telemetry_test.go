@@ -1,0 +1,271 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCounterGaugeBasics covers the scalar metrics' arithmetic and the
+// nil-receiver disabled path.
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "jobs")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // counters only go up; ignored
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("depth", "queue depth")
+	g.Set(9)
+	g.Add(-3)
+	if got := g.Value(); got != 6 {
+		t.Fatalf("gauge = %d, want 6", got)
+	}
+
+	// Disabled: nil registry hands out nil metrics; everything no-ops.
+	var nr *Registry
+	nc := nr.Counter("x", "")
+	ng := nr.Gauge("x", "")
+	nh := nr.Histogram("x", "", nil)
+	nc.Inc()
+	ng.Set(3)
+	nh.Observe(1)
+	nr.GaugeFunc("y", "", func() float64 { return 1 })
+	if nc.Value() != 0 || ng.Value() != 0 || nh.Count() != 0 {
+		t.Fatal("nil metrics recorded something")
+	}
+	if err := nr.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	var np *Progress
+	np.Observe(5)
+	if s := np.Snapshot(); s != (ProgressSnapshot{}) {
+		t.Fatalf("nil progress snapshot = %+v", s)
+	}
+}
+
+// TestRegistrationIdempotent: the same name+labels returns the same
+// metric; different labels split series; a kind clash panics.
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("hits_total", "h", "tier", "memory")
+	b := r.Counter("hits_total", "h", "tier", "memory")
+	if a != b {
+		t.Fatal("re-registration returned a different counter")
+	}
+	c := r.Counter("hits_total", "h", "tier", "disk")
+	if c == a {
+		t.Fatal("distinct labels shared a counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind clash did not panic")
+		}
+	}()
+	r.Gauge("hits_total", "h")
+}
+
+// TestHistogramBucketBoundaries pins the "le" semantics: a value exactly
+// on a bound lands in that bound's bucket (inclusive upper limits), and
+// exposition renders cumulative counts.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("wait_seconds", "queue wait", []float64{1, 5, 10})
+	for _, v := range []float64{0.5, 1.0, 1.0001, 5.0, 10.0, 11.0, 1e9} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d, want 7", h.Count())
+	}
+	if got, want := h.Sum(), 0.5+1.0+1.0001+5.0+10.0+11.0+1e9; got != want {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`wait_seconds_bucket{le="1"} 2`,    // 0.5, 1.0 — the bound is inclusive
+		`wait_seconds_bucket{le="5"} 4`,    // + 1.0001, 5.0
+		`wait_seconds_bucket{le="10"} 5`,   // + 10.0
+		`wait_seconds_bucket{le="+Inf"} 7`, // + 11.0, 1e9
+		`wait_seconds_count 7`,
+		"# TYPE wait_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestHistogramUnsortedBoundsPanic: misregistered bounds fail loudly at
+// registration, not silently misbucket forever.
+func TestHistogramUnsortedBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsorted bounds did not panic")
+		}
+	}()
+	NewRegistry().Histogram("bad", "", []float64{5, 1})
+}
+
+// TestPrometheusFormat checks the exposition layout: HELP/TYPE blocks,
+// label rendering and escaping, callback metrics, float formatting.
+func TestPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total", "cache hits", "tier", "memory").Add(3)
+	r.Counter("hits_total", "cache hits", "tier", "disk").Add(1)
+	r.Gauge("depth", "queue\ndepth").Set(2)
+	r.GaugeFunc("width", "pool width", func() float64 { return 8 })
+	r.CounterFunc("busy_seconds_total", "busy", func() float64 { return 1.5 })
+	r.Gauge("weird", "w", "q", `a"b\c`).Set(1)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP hits_total cache hits\n# TYPE hits_total counter\n",
+		`hits_total{tier="memory"} 3`,
+		`hits_total{tier="disk"} 1`,
+		`# HELP depth queue\ndepth`, // newline escaped in HELP
+		"depth 2",
+		"# TYPE width gauge",
+		"width 8",
+		"# TYPE busy_seconds_total counter",
+		"busy_seconds_total 1.5",
+		`weird{q="a\"b\\c"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// The two hits_total series share one HELP/TYPE block.
+	if strings.Count(out, "# TYPE hits_total") != 1 {
+		t.Fatalf("family header duplicated:\n%s", out)
+	}
+}
+
+// TestParseRoundTrip feeds WritePrometheus output through ParseText — the
+// memnetstat read path — and checks samples survive intact.
+func TestParseRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total", "h", "tier", "memory").Add(42)
+	r.Gauge("depth", "d").Set(-3)
+	r.Histogram("wait_seconds", "w", []float64{1, 10}).Observe(2)
+	r.Gauge("weird", "w", "q", `a"b\c,d`).Set(7)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, ok := Find(samples, "hits_total", "tier", "memory"); !ok || s.Value != 42 {
+		t.Fatalf("hits_total = %+v, %v", s, ok)
+	}
+	if s, ok := Find(samples, "depth"); !ok || s.Value != -3 {
+		t.Fatalf("depth = %+v, %v", s, ok)
+	}
+	if s, ok := Find(samples, "wait_seconds_bucket", "le", "10"); !ok || s.Value != 1 {
+		t.Fatalf("wait bucket = %+v, %v", s, ok)
+	}
+	if s, ok := Find(samples, "wait_seconds_bucket", "le", "+Inf"); !ok || s.Value != 1 {
+		t.Fatalf("inf bucket = %+v, %v", s, ok)
+	}
+	if s, ok := Find(samples, "weird"); !ok || s.Labels["q"] != `a"b\c,d` {
+		t.Fatalf("escaped label did not round-trip: %+v", s)
+	}
+	for _, bad := range []string{"no_value", `x{unterminated="v `, `x{k="v"} notanumber`} {
+		if _, err := ParseText(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseText(%q) accepted garbage", bad)
+		}
+	}
+}
+
+// TestConcurrentScrape hammers a shared registry from writer goroutines
+// while scraping continuously. Run with -race: the point is that the
+// atomic hot path and the snapshot-then-render exposition never conflict.
+func TestConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total", "ops")
+	h := r.Histogram("lat_seconds", "lat", nil)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				c.Inc()
+				h.Observe(float64(i%100) / 100)
+				// Dynamic registration racing the scrape, as per-client
+				// gauges do in the serving layer.
+				r.Gauge("dyn", "dynamic", "w", string(rune('a'+w))).Set(int64(i))
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ParseText(strings.NewReader(b.String())); err != nil {
+			t.Fatalf("scrape %d unparsable: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if c.Value() == 0 || h.Count() == 0 {
+		t.Fatal("writers made no progress")
+	}
+}
+
+// TestProgressRates drives the tracker with a fake clock and checks the
+// derived wall-clock rates, including the stuck-job signal.
+func TestProgressRates(t *testing.T) {
+	now := time.Unix(1000, 0)
+	p := NewProgress(func() time.Time { return now })
+
+	if s := p.Snapshot(); s.Events != 0 || s.PsPerSecond != 0 {
+		t.Fatalf("fresh tracker = %+v", s)
+	}
+	p.Observe(0) // run_start at sim t=0
+	now = now.Add(2 * time.Second)
+	p.Observe(8_000_000) // 8e6 ps after 2 wall-seconds
+	now = now.Add(2 * time.Second)
+	p.Observe(20_000_000)
+	p.Observe(10_000_000) // a lagging parallel run never lowers the high-water mark
+
+	s := p.Snapshot()
+	if s.Events != 4 || s.SimPs != 20_000_000 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.WallSeconds != 4 {
+		t.Fatalf("wall = %v, want 4", s.WallSeconds)
+	}
+	if want := 20_000_000.0 / 4; s.PsPerSecond != want {
+		t.Fatalf("ps/s = %v, want %v", s.PsPerSecond, want)
+	}
+	if want := 4.0 / 4; s.EventsPerSecond != want {
+		t.Fatalf("ev/s = %v, want %v", s.EventsPerSecond, want)
+	}
+	// The job goes quiet: rates freeze, SinceLastEvent grows.
+	now = now.Add(30 * time.Second)
+	s = p.Snapshot()
+	if s.SinceLastEvent != 30 {
+		t.Fatalf("since last = %v, want 30", s.SinceLastEvent)
+	}
+}
