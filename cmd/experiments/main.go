@@ -10,6 +10,7 @@
 //	experiments -exp all -par 8     # fan runs out over 8 workers
 //	experiments -exp fig14 -cpuprofile cpu.pprof
 //	experiments -exp fig7 -trace traces/ -metrics metrics/
+//	experiments -exp fig12 -profile profiles/
 //
 // Known experiments: fig7 fig10 fig12 fig14 fig15 fig16 fig17 fig18 fig19
 // ctasched placement table2 degradation.
@@ -28,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -40,6 +42,7 @@ import (
 	"memnet/internal/fault"
 	"memnet/internal/obs"
 	"memnet/internal/par"
+	"memnet/internal/prof"
 )
 
 func main() {
@@ -56,6 +59,7 @@ func main() {
 	traceDir := flag.String("trace", "", "write one Perfetto trace per run into this directory")
 	metricsDir := flag.String("metrics", "", "write one windowed-metrics CSV per run into this directory")
 	metricsEpoch := flag.String("metrics-epoch", "", "metrics sampling window, e.g. 500ns or 1us (default 1us)")
+	profileDir := flag.String("profile", "", "write one latency-attribution profile per run into this directory, each with a one-page .summary.txt")
 	faultsFile := flag.String("faults", "", "JSON fault-injection schedule applied to every run (see internal/fault)")
 	degLinks := flag.Int("deg-links", 4, "max failed link pairs for the degradation sweep")
 	flag.Parse()
@@ -85,6 +89,12 @@ func main() {
 			}
 		}
 		core.SetObsDefault(*traceDir, *metricsDir, epoch)
+	}
+	if *profileDir != "" {
+		if err := os.MkdirAll(*profileDir, 0o755); err != nil {
+			fatal(err)
+		}
+		core.SetProfDefault(*profileDir)
 	}
 
 	// Fail fast on an invalid explicit -par instead of silently falling
@@ -173,6 +183,12 @@ func main() {
 		report("total", time.Since(sweepStart), par.BusyTime()-sweepBusy)
 	}
 
+	if *profileDir != "" {
+		if err := summarizeProfiles(*profileDir); err != nil {
+			fatal(err)
+		}
+	}
+
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
 		if err != nil {
@@ -184,6 +200,32 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// summarizeProfiles writes a one-page human-readable summary next to
+// every profile the sweep produced: "<run>.profile.json" gets a sibling
+// "<run>.summary.txt".
+func summarizeProfiles(dir string) error {
+	files, err := filepath.Glob(filepath.Join(dir, "*.profile.json"))
+	if err != nil {
+		return err
+	}
+	for _, file := range files {
+		p, err := prof.LoadFile(file)
+		if err != nil {
+			return err
+		}
+		out := strings.TrimSuffix(file, ".profile.json") + ".summary.txt"
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		prof.Summary(f, p)
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // report prints one timing line: elapsed wall clock, the simulation time

@@ -20,6 +20,7 @@
 //	curl -sS -X POST localhost:8844/v1/jobs -d '{"experiment":"fig14"}'
 //	curl -sN localhost:8844/v1/jobs/<id>/events
 //	curl -sS localhost:8844/v1/jobs/<id>/result
+//	curl -sS localhost:8844/v1/jobs/<id>/profile   # with -profile
 //
 // Watch it work:
 //
@@ -39,6 +40,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
@@ -61,6 +63,7 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "persist results in this directory (content-addressed; empty = memory only)")
 	parFlag := flag.Int("par", 0, "worker-pool width per job (0 = MEMNET_PAR env or CPU count)")
 	auditFlag := flag.Bool("audit", false, "check conservation invariants in every served run (results are byte-identical either way)")
+	profileFlag := flag.Bool("profile", false, "collect a latency-attribution profile per run, served at /v1/jobs/{id}/profile (results are byte-identical either way)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Minute, "max wall-clock time to wait for the in-flight job at shutdown")
 	flag.Parse()
 	lg := telemetry.NewLogger(os.Stderr)
@@ -88,6 +91,7 @@ func main() {
 		CacheDir: *cacheDir,
 		Logger:   lg,
 		Metrics:  reg,
+		Profile:  *profileFlag,
 	})
 	if err != nil {
 		fatal("startup failed", "err", err)
@@ -143,6 +147,12 @@ func adminMux(reg *telemetry.Registry, srv *serve.Server) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("GET /metrics", reg.Handler())
+	mux.HandleFunc("GET /v1/version", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(serve.BuildVersion())
+	})
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})

@@ -1,0 +1,68 @@
+// Command memnetprof renders latency-attribution profiles written by
+// memnetsim -profile, experiments -profile, or memnetd (schema
+// "memnet-prof/v1").
+//
+// Usage:
+//
+//	memnetprof run.profile.json                  # one-page summary
+//	memnetprof -heatmap run.profile.json         # congestion heatmap (ASCII)
+//	memnetprof -heatmap -ansi run.profile.json   # 256-color heatmap
+//	memnetprof -csv run.profile.json             # long-form CSV of every metric
+//	memnetprof -collapsed run.profile.json > stacks.txt   # folded stacks
+//	memnetprof -pprof sim.pb.gz run.profile.json # pprof profile (go tool pprof)
+//
+// The collapsed output feeds any flamegraph renderer that accepts folded
+// stacks (e.g. flamegraph.pl or speedscope); the pprof output opens with
+// `go tool pprof -http`. Both weight frames by simulated picoseconds, so
+// a flame graph's width is simulated time, not host time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"memnet/internal/prof"
+)
+
+func main() {
+	heatmap := flag.Bool("heatmap", false, "render the congestion heatmap instead of the summary")
+	ansi := flag.Bool("ansi", false, "use 256-color ANSI cells in the heatmap")
+	csv := flag.Bool("csv", false, "dump every profile metric as long-form CSV (section,key,metric,value)")
+	collapsed := flag.Bool("collapsed", false, "emit folded stacks for flamegraph renderers (values in ps)")
+	pprofOut := flag.String("pprof", "", "write a pprof-compatible profile (sim-time samples) to this file")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: memnetprof [-heatmap [-ansi] | -csv | -collapsed | -pprof out.pb.gz] profile.json")
+		os.Exit(2)
+	}
+	p, err := prof.LoadFile(flag.Arg(0))
+	check(err)
+
+	switch {
+	case *pprofOut != "":
+		f, err := os.Create(*pprofOut)
+		check(err)
+		werr := prof.WritePprof(f, p)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		check(werr)
+	case *collapsed:
+		prof.WriteCollapsed(os.Stdout, p)
+	case *csv:
+		prof.WriteCSV(os.Stdout, p)
+	case *heatmap:
+		prof.RenderHeatmap(os.Stdout, p, *ansi)
+	default:
+		prof.Summary(os.Stdout, p)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memnetprof:", err)
+		os.Exit(1)
+	}
+}

@@ -7,6 +7,7 @@
 //	memnetsim -arch GMN -topo sMESH -gpus 8 -sched round-robin
 //	memnetsim -arch UMN -workload CG.S -overlay -traffic
 //	memnetsim -arch UMN -workload BP -trace run.trace.json -metrics run.csv
+//	memnetsim -arch UMN -workload BP -profile run.profile.json
 //	memnetsim -arch UMN -workload BP -fault-links 2 -fault-gpus 1 -audit
 package main
 
@@ -43,6 +44,7 @@ func main() {
 	traceOut := flag.String("trace", "", "write a simulated-time timeline of the run to this file (Chrome trace_event JSON, opens in ui.perfetto.dev)")
 	metricsOut := flag.String("metrics", "", "write windowed metrics to this file (CSV, or JSONL with a .jsonl name)")
 	metricsEpoch := flag.String("metrics-epoch", "", "metrics sampling window, e.g. 500ns or 1us (default 1us)")
+	profileOut := flag.String("profile", "", "write a latency-attribution profile of the run to this file (JSON, readable by memnetprof)")
 	dumpOnDeadlock := flag.Bool("dump-state-on-deadlock", false, "append a full network state dump to a phase-deadlock error")
 	nopool := flag.Bool("nopool", false, "disable packet pooling (results are byte-identical either way; exists for CI verification)")
 	auditFlag := flag.Bool("audit", false, "check conservation invariants at every phase boundary (results are byte-identical either way)")
@@ -90,7 +92,7 @@ func main() {
 			check(fmt.Errorf("%s must be non-negative, got %d", f.name, f.val))
 		}
 	}
-	for _, out := range []string{*traceOut, *metricsOut} {
+	for _, out := range []string{*traceOut, *metricsOut, *profileOut} {
 		if out != "" {
 			check(obs.CheckWritable(out))
 		}
@@ -108,6 +110,7 @@ func main() {
 	}
 	cfg.TraceOut = *traceOut
 	cfg.MetricsOut = *metricsOut
+	cfg.ProfileOut = *profileOut
 	if *metricsEpoch != "" {
 		cfg.MetricsEpoch, err = obs.ParseDuration(*metricsEpoch)
 		check(err)

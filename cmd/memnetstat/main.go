@@ -20,9 +20,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -137,19 +139,134 @@ func printTable(st *serve.Stats, stErr error, samples []telemetry.Sample, mErr e
 		fmt.Printf("metrics: unavailable (%v)\n", mErr)
 		return
 	}
-	sort.Slice(samples, func(i, j int) bool {
-		if samples[i].Name != samples[j].Name {
-			return samples[i].Name < samples[j].Name
-		}
-		return labelKey(samples[i].Labels) < labelKey(samples[j].Labels)
-	})
+	for _, row := range tableRows(samples) {
+		fmt.Printf("  %s\n", row)
+	}
+}
+
+// tableRows renders the scraped samples as sorted display rows. Histogram
+// families (the _bucket/_sum/_count triplets of the Prometheus
+// exposition) collapse into a single derived line with p50/p95/p99
+// estimated from the buckets; everything else prints raw.
+func tableRows(samples []telemetry.Sample) []string {
+	hists := map[string]*hist{}
+	var rows []string
 	for _, s := range samples {
+		base, part := histPart(s.Name)
+		if part != "" {
+			key := base
+			labels := s.Labels
+			if part == "bucket" {
+				// The le label belongs to the bucket, not the series.
+				labels = make(map[string]string, len(s.Labels))
+				for k, v := range s.Labels {
+					if k != "le" {
+						labels[k] = v
+					}
+				}
+			}
+			if lk := labelKey(labels); lk != "" {
+				key += "{" + lk + "}"
+			}
+			h := hists[key]
+			if h == nil {
+				h = &hist{}
+				hists[key] = h
+			}
+			switch part {
+			case "bucket":
+				le, err := parseLE(s.Labels["le"])
+				if err != nil {
+					// Not a histogram bucket after all; print raw below.
+					break
+				}
+				h.buckets = append(h.buckets, bucket{le: le, cum: s.Value})
+				continue
+			case "sum":
+				h.sum = s.Value
+				continue
+			case "count":
+				h.count = s.Value
+				continue
+			}
+		}
 		name := s.Name
 		if lk := labelKey(s.Labels); lk != "" {
 			name += "{" + lk + "}"
 		}
-		fmt.Printf("  %-56s %g\n", name, s.Value)
+		rows = append(rows, fmt.Sprintf("%-56s %g", name, s.Value))
 	}
+	for key, h := range hists {
+		if len(h.buckets) == 0 && h.count == 0 && h.sum == 0 {
+			continue // a stray *_bucket row without a parsable le printed raw
+		}
+		sort.Slice(h.buckets, func(i, j int) bool { return h.buckets[i].le < h.buckets[j].le })
+		mean := 0.0
+		if h.count > 0 {
+			mean = h.sum / h.count
+		}
+		rows = append(rows, fmt.Sprintf("%-56s count=%g mean=%g p50=%g p95=%g p99=%g",
+			key, h.count, mean, h.quantile(0.50), h.quantile(0.95), h.quantile(0.99)))
+	}
+	sort.Strings(rows)
+	return rows
+}
+
+// histPart splits a Prometheus histogram member name into its base series
+// name and role ("bucket", "sum", "count"); part is "" for plain samples.
+func histPart(name string) (base, part string) {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf), suf[1:]
+		}
+	}
+	return name, ""
+}
+
+// parseLE parses a bucket upper bound; "+Inf" is the overflow bucket.
+func parseLE(s string) (float64, error) {
+	if s == "" {
+		return 0, fmt.Errorf("missing le label")
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// bucket is one cumulative histogram bucket: cum observations ≤ le.
+type bucket struct{ le, cum float64 }
+
+// hist accumulates one histogram series from its exposition rows.
+type hist struct {
+	buckets []bucket
+	sum     float64
+	count   float64
+}
+
+// quantile estimates the q-quantile from the cumulative buckets by linear
+// interpolation within the first bucket whose cumulative count reaches
+// rank q·count — the same estimate Prometheus's histogram_quantile
+// computes. The +Inf bucket clamps to the last finite bound.
+func (h *hist) quantile(q float64) float64 {
+	if h.count == 0 || len(h.buckets) == 0 {
+		return 0
+	}
+	rank := q * h.count
+	lower, prevCum := 0.0, 0.0
+	for _, b := range h.buckets {
+		if b.cum >= rank {
+			if math.IsInf(b.le, 1) {
+				return lower // clamp: all we know is "beyond the last bound"
+			}
+			if b.cum == prevCum {
+				return b.le
+			}
+			return lower + (rank-prevCum)/(b.cum-prevCum)*(b.le-lower)
+		}
+		if !math.IsInf(b.le, 1) {
+			lower = b.le
+		}
+		prevCum = b.cum
+	}
+	return lower
 }
 
 func find(samples []telemetry.Sample, name string) (float64, bool) {

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"memnet/internal/telemetry"
+)
+
+// TestQuantile pins the interpolation against hand-computed values: 100
+// observations spread 10/60/30 over bounds 1/5/10.
+func TestQuantile(t *testing.T) {
+	h := &hist{
+		buckets: []bucket{
+			{le: 1, cum: 10},
+			{le: 5, cum: 70},
+			{le: 10, cum: 100},
+			{le: math.Inf(1), cum: 100},
+		},
+		count: 100,
+		sum:   480,
+	}
+	cases := []struct{ q, want float64 }{
+		{0.10, 1},             // rank 10: exactly the first bucket boundary
+		{0.50, 1 + 40.0/60*4}, // rank 50: 40/60 into (1,5]
+		{0.95, 5 + 25.0/30*5}, // rank 95: 25/30 into (5,10]
+		{1.00, 10},            // rank 100: top of the last finite bucket
+	}
+	for _, c := range cases {
+		if got := h.quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+
+	// Every observation beyond the last finite bound: clamp, don't
+	// extrapolate to infinity.
+	overflow := &hist{
+		buckets: []bucket{{le: 1, cum: 0}, {le: math.Inf(1), cum: 50}},
+		count:   50,
+	}
+	if got := overflow.quantile(0.99); got != 1 {
+		t.Errorf("overflow quantile = %g, want clamp to 1", got)
+	}
+
+	empty := &hist{}
+	if got := empty.quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %g, want 0", got)
+	}
+}
+
+// TestTableRows checks the grouping: bucket/sum/count triplets collapse
+// into one derived line, raw bucket rows disappear, and plain samples
+// pass through.
+func TestTableRows(t *testing.T) {
+	samples := []telemetry.Sample{
+		{Name: "memnetd_run_seconds_bucket", Labels: map[string]string{"le": "1"}, Value: 10},
+		{Name: "memnetd_run_seconds_bucket", Labels: map[string]string{"le": "5"}, Value: 70},
+		{Name: "memnetd_run_seconds_bucket", Labels: map[string]string{"le": "+Inf"}, Value: 100},
+		{Name: "memnetd_run_seconds_sum", Value: 480},
+		{Name: "memnetd_run_seconds_count", Value: 100},
+		{Name: "memnetd_queue_depth", Value: 3},
+		{Name: "memnetd_jobs_done", Labels: map[string]string{"kind": "x"}, Value: 7},
+	}
+	rows := tableRows(samples)
+	joined := strings.Join(rows, "\n")
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3 (derived + 2 plain):\n%s", len(rows), joined)
+	}
+	if strings.Contains(joined, "_bucket") || strings.Contains(joined, "le=") {
+		t.Fatalf("raw bucket rows leaked into the table:\n%s", joined)
+	}
+	var derived string
+	for _, r := range rows {
+		if strings.HasPrefix(r, "memnetd_run_seconds") {
+			derived = r
+		}
+	}
+	for _, want := range []string{"count=100", "mean=4.8", "p50=", "p95=", "p99="} {
+		if !strings.Contains(derived, want) {
+			t.Fatalf("derived row missing %q: %q", want, derived)
+		}
+	}
+	if !strings.Contains(joined, "memnetd_queue_depth") ||
+		!strings.Contains(joined, `memnetd_jobs_done{kind="x"}`) {
+		t.Fatalf("plain samples missing:\n%s", joined)
+	}
+}

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"memnet"
@@ -24,24 +25,24 @@ func main() {
 	arch := flag.String("arch", "UMN", fmt.Sprintf("architecture whose buffer placement the trace captures: %v", memnet.Architectures()))
 	flag.Parse()
 
-	a, err := memnet.ParseArch(*arch)
-	if err != nil {
-		fail(err)
-	}
-
-	// Build a system to obtain a buffer binding, then capture the traces.
-	cfg := core.DefaultConfig(a, *wl)
-	cfg.Scale = *scale
-	s, err := core.NewSystem(cfg)
-	if err != nil {
-		fail(err)
-	}
-	if err := workload.WriteTrace(os.Stdout, s.Workload(), s.Binding()); err != nil {
-		fail(err)
+	if err := dump(os.Stdout, *wl, *scale, *arch); err != nil {
+		fmt.Fprintln(os.Stderr, "tracedump:", err)
+		os.Exit(1)
 	}
 }
 
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "tracedump:", err)
-	os.Exit(1)
+// dump builds a system for the architecture (to obtain its buffer
+// binding) and writes the workload's kernel trace to out.
+func dump(out io.Writer, wl string, scale float64, arch string) error {
+	a, err := memnet.ParseArch(arch)
+	if err != nil {
+		return err
+	}
+	cfg := core.DefaultConfig(a, wl)
+	cfg.Scale = scale
+	s, err := core.NewSystem(cfg)
+	if err != nil {
+		return err
+	}
+	return workload.WriteTrace(out, s.Workload(), s.Binding())
 }

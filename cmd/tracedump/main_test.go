@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden trace files")
+
+// TestGolden pins the trace format byte-for-byte against committed golden
+// files, including the -arch path. Trace addresses are buffer-relative by
+// design ("traces stay valid under any placement policy"), so the UMN and
+// GMN captures of the same workload must be byte-identical — the golden
+// pair pins that invariance along with the format itself.
+func TestGolden(t *testing.T) {
+	cases := []struct {
+		name  string
+		wl    string
+		scale float64
+		arch  string
+	}{
+		{"va-umn.trace", "VA", 0.05, "UMN"},
+		{"va-gmn.trace", "VA", 0.05, "GMN"},
+		{"bp-pcie.trace", "BP", 0.05, "PCIe"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := dump(&buf, c.wl, c.scale, c.arch); err != nil {
+				t.Fatal(err)
+			}
+			golden := filepath.Join("testdata", c.name)
+			if *update {
+				if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run `go test ./cmd/tracedump -update` to regenerate)", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("trace diverges from %s (%d vs %d bytes); run with -update if the format change is intentional",
+					golden, buf.Len(), len(want))
+			}
+		})
+	}
+}
+
+// TestArchInvariance double-checks the property the golden pair encodes:
+// buffer-relative addressing makes capture placement-independent.
+func TestArchInvariance(t *testing.T) {
+	var umn, gmn bytes.Buffer
+	if err := dump(&umn, "BP", 0.05, "UMN"); err != nil {
+		t.Fatal(err)
+	}
+	if err := dump(&gmn, "BP", 0.05, "GMN"); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(umn.Bytes(), gmn.Bytes()) {
+		t.Fatal("the same workload captured under UMN and GMN diverged; trace addresses must stay buffer-relative")
+	}
+}
+
+// TestDumpErrors checks the two user-facing failure modes surface as
+// errors, not panics.
+func TestDumpErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := dump(&buf, "VA", 0.05, "NOPE"); err == nil || !strings.Contains(err.Error(), "NOPE") {
+		t.Fatalf("bad arch error = %v", err)
+	}
+	if err := dump(&buf, "NOPE", 0.05, "UMN"); err == nil {
+		t.Fatal("bad workload produced no error")
+	}
+}

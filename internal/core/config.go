@@ -190,6 +190,44 @@ func (c *Config) resolveObs(workloadAbbr string) {
 	}
 }
 
+// profDefault holds a process-wide profile output directory applied to
+// configs that request no profiling of their own. Experiment sweeps build
+// their configs internally, so the CLIs route their -profile directory
+// flag through here. Mutex-guarded because sweeps build systems from many
+// goroutines; seq uniquifies concurrent runs' files.
+var profDefault struct {
+	sync.Mutex
+	dir string
+	seq int
+}
+
+// SetProfDefault routes every run whose Config sets neither Profile nor
+// ProfileOut into a per-run profile file under dir (empty string
+// disables). Files are named "<seq>-<workload>-<arch>.profile.json";
+// under a parallel sweep the sequence numbers depend on scheduling order,
+// but each file's contents are deterministic.
+func SetProfDefault(dir string) {
+	profDefault.Lock()
+	defer profDefault.Unlock()
+	profDefault.dir = dir
+}
+
+// resolveProf applies the process-wide profile default to a config that
+// requests no profiling; NewSystem calls it once the workload is known.
+func (c *Config) resolveProf(workloadAbbr string) {
+	if c.Profile || c.ProfileOut != "" {
+		return
+	}
+	profDefault.Lock()
+	defer profDefault.Unlock()
+	if profDefault.dir == "" {
+		return
+	}
+	profDefault.seq++
+	base := fmt.Sprintf("%03d-%s-%s", profDefault.seq, workloadAbbr, c.Arch)
+	c.ProfileOut = filepath.Join(profDefault.dir, base+".profile.json")
+}
+
 // progressDefault is a process-wide progress sink applied to configs whose
 // Progress field is nil (experiment sweeps build their configs internally,
 // so serving layers route their per-job sink through here). Atomic because
@@ -257,6 +295,17 @@ type Config struct {
 	// (openable in ui.perfetto.dev). Like auditing, tracing is passive:
 	// it schedules no events and results are byte-identical either way.
 	TraceOut string
+	// Profile attaches the latency-attribution profiler (package prof):
+	// per-packet latency decomposed into named stages, per-router/VC
+	// congestion heat, and per-kernel compute breakdowns. Like tracing it
+	// is passive — the profiler schedules no events and results are
+	// byte-identical with it on or off. The collected profile is exposed
+	// through System.Profile after the run.
+	Profile bool
+	// ProfileOut, when non-empty, enables profiling (as Profile does) and
+	// additionally writes the profile to this file as JSON (schema
+	// "memnet-prof/v1", readable by cmd/memnetprof).
+	ProfileOut string
 	// MetricsOut, when non-empty, writes windowed metrics to this file:
 	// one row per MetricsEpoch of simulated time, CSV by default or JSON
 	// Lines when the name ends in ".jsonl".

@@ -10,6 +10,7 @@ import (
 	"memnet/internal/energy"
 	"memnet/internal/mem"
 	"memnet/internal/obs"
+	"memnet/internal/prof"
 	"memnet/internal/sim"
 	"memnet/internal/stats"
 )
@@ -111,6 +112,9 @@ func (s *System) Execute() (*Result, error) {
 	if err := s.flushObs(); err != nil {
 		return nil, err
 	}
+	if err := s.flushProf(); err != nil {
+		return nil, err
+	}
 	s.collect(res)
 	s.emitProgress(obs.ProgressRunDone, "")
 	return res, nil
@@ -164,6 +168,44 @@ func (s *System) flushObs() error {
 		if werr != nil {
 			return fmt.Errorf("core: metrics output: %w", werr)
 		}
+	}
+	return nil
+}
+
+// flushProf assembles the latency-attribution profile from the per-
+// component collectors and writes it to the file named by the config (if
+// any). It runs after the last event, so snapshotting and file I/O cannot
+// perturb the simulation.
+func (s *System) flushProf() error {
+	if s.profRun == nil {
+		return nil
+	}
+	p := &prof.Profile{
+		Run: s.runLabel,
+		Net: s.net.ProfSnapshot(),
+	}
+	p.Kernels, p.KernelSpans = s.profRun.Kern.Snapshot()
+	for i, h := range s.hmcs {
+		p.HMCs = append(p.HMCs, h.ProfSnapshot(i))
+	}
+	if s.fabric != nil {
+		sec := s.fabric.ProfSnapshot()
+		p.PCIe = &sec
+	}
+	s.profile = p
+	if s.cfg.ProfileOut == "" {
+		return nil
+	}
+	f, err := os.Create(s.cfg.ProfileOut)
+	if err != nil {
+		return fmt.Errorf("core: profile output: %w", err)
+	}
+	werr := prof.WriteJSON(f, p)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("core: profile output: %w", werr)
 	}
 	return nil
 }

@@ -12,6 +12,7 @@ import (
 	"memnet/internal/noc"
 	"memnet/internal/obs"
 	"memnet/internal/pcie"
+	"memnet/internal/prof"
 	"memnet/internal/sim"
 	"memnet/internal/ske"
 	"memnet/internal/workload"
@@ -57,6 +58,13 @@ type System struct {
 	tr        *obs.Tracer
 	samp      *obs.Sampler
 	hostTrack obs.Track
+
+	// profRun is the latency-attribution profiler; nil unless the config
+	// requests a profile. Like tracing it is passive: the run's event
+	// sequence and results are identical with it on or off. profile is
+	// the snapshot assembled after the last event.
+	profRun *prof.Run
+	profile *prof.Profile
 
 	// prog is the resolved progress sink (nil when none); runLabel names
 	// this run in its events as "<workload>/<arch>".
@@ -192,6 +200,12 @@ func NewSystem(cfg Config) (*System, error) {
 	s.prog = cfg.progressFunc()
 	s.runLabel = w.Abbr + "/" + cfg.Arch.String()
 	s.cfg.resolveObs(w.Abbr)
+	s.cfg.resolveProf(w.Abbr)
+	if s.cfg.Profile || s.cfg.ProfileOut != "" {
+		s.profRun = prof.NewRun()
+		s.profRun.Label = s.runLabel
+		s.attachProf()
+	}
 	if s.cfg.TraceOut != "" || s.cfg.MetricsOut != "" {
 		if s.cfg.TraceOut != "" {
 			s.tr = obs.NewTracer()
@@ -233,6 +247,15 @@ func (s *System) attachObs() {
 	s.samp.AttachTracer(s.tr)
 }
 
+// attachProf wires the latency-attribution profiler through the network
+// and the compute side. The runtime fans the kernel profiler out to its
+// GPUs; the HMC and PCIe sections are snapshots taken at flush time, so
+// they need no hooks here.
+func (s *System) attachProf() {
+	s.net.AttachProf(s.profRun.Net)
+	s.rt.AttachProf(s.profRun.Kern)
+}
+
 // registerAudits attaches every subsystem's conservation checkers to the
 // system registry. New components follow the same pattern: implement
 // RegisterAudits and hook it in here.
@@ -253,6 +276,14 @@ func (s *System) registerAudits() {
 			if live := s.net.LivePackets(); live != 0 {
 				report(fmt.Sprintf("quiescent network still has %d unreleased packets", live))
 			}
+		}
+	})
+	// The profiler attaches after audit registration, so the check
+	// resolves it lazily: with a profile requested, every packet's stage
+	// decomposition must sum exactly to its end-to-end latency.
+	reg.Register("prof", func(report func(string)) {
+		if s.profRun != nil {
+			s.profRun.Net.Audit(report)
 		}
 	})
 	s.rt.RegisterAudits(reg)
@@ -277,6 +308,10 @@ func (s *System) Tracer() *obs.Tracer { return s.tr }
 // Sampler returns the system's metrics sampler, or nil when observability
 // is off.
 func (s *System) Sampler() *obs.Sampler { return s.samp }
+
+// Profile returns the latency-attribution profile assembled after the
+// run, or nil when profiling is off (or the run has not executed yet).
+func (s *System) Profile() *prof.Profile { return s.profile }
 
 // Engine exposes the event engine (examples and tests drive it directly).
 func (s *System) Engine() *sim.Engine { return s.eng }

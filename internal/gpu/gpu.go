@@ -22,6 +22,7 @@ import (
 	"memnet/internal/cache"
 	"memnet/internal/mem"
 	"memnet/internal/obs"
+	"memnet/internal/prof"
 	"memnet/internal/sim"
 	"memnet/internal/stats"
 )
@@ -153,6 +154,11 @@ type launchCtx struct {
 	memInFlight  int64
 	childrenLive int
 	onDone       func()
+
+	// krec is this launch's (kernel, GPU) attribution record, resolved
+	// once at Launch so the per-instruction hot path costs one pointer
+	// check; nil unless a profiler is attached.
+	krec *prof.KernelGPU
 }
 
 func (c *launchCtx) busy() bool {
@@ -187,6 +193,9 @@ type GPU struct {
 	// trace carries the SM-occupancy counter series (inert when tracing
 	// is off).
 	trace obs.Track
+
+	// kprof is the attached compute-side profiler (nil = off).
+	kprof *prof.KernProf
 
 	Stats Stats
 }
@@ -300,6 +309,11 @@ func (g *GPU) StealCTAs(n int) []int {
 func (g *GPU) Launch(kernel Kernel, ctas []int, onDone func()) {
 	g.accepted += int64(len(ctas))
 	ctx := &launchCtx{kernel: kernel, pending: append([]int(nil), ctas...), onDone: onDone}
+	if g.kprof != nil {
+		ctx.krec = g.kprof.Device(kernel.Name(), g.id, int64(g.coreClk.Period()))
+		ctx.krec.Launches++
+		ctx.krec.LaunchPS += int64(g.cfg.LaunchLatency)
+	}
 	if len(ctx.pending) == 0 {
 		if onDone != nil {
 			g.eng.After(g.cfg.LaunchLatency, onDone)
@@ -449,6 +463,12 @@ func (g *GPU) AttachTracer(t *obs.Tracer) {
 	}
 	g.trace = t.NewTrack(fmt.Sprintf("gpu%d", g.id))
 }
+
+// AttachProf attaches the compute-side profiler: each launch resolves its
+// (kernel, GPU) record once, and the warp and memory hot paths accumulate
+// into it through a cached pointer. Strictly passive; nil leaves the GPU
+// inert.
+func (g *GPU) AttachProf(kp *prof.KernProf) { g.kprof = kp }
 
 // traceOccupancy samples the device's resident-CTA count onto the trace;
 // a single nil check when tracing is off.

@@ -88,6 +88,10 @@ func (w *warpState) step() {
 	s := w.sm
 	g := s.g
 	g.Stats.WarpInstrs.Inc()
+	if rec := w.cta.ctx.krec; rec != nil {
+		rec.Instrs++
+		rec.ComputeCycles += int64(op.Compute)
+	}
 	now := g.eng.Now()
 	slot := now
 	if s.issueFree > slot {
@@ -202,6 +206,10 @@ func (s *sm) below(ctx *launchCtx, addr mem.Addr, write, atomic bool, at sim.Tim
 			s.outstanding--
 			ctx.memInFlight--
 			g.Stats.MemLatency.Add(float64(g.eng.Now() - start))
+			if rec := ctx.krec; rec != nil {
+				rec.MemOps++
+				rec.MemWaitPS += int64(g.eng.Now() - start)
+			}
 			if done != nil {
 				done()
 			}

@@ -16,6 +16,7 @@ import (
 	"memnet/internal/dram"
 	"memnet/internal/mem"
 	"memnet/internal/obs"
+	"memnet/internal/prof"
 	"memnet/internal/sim"
 	"memnet/internal/stats"
 )
@@ -408,4 +409,23 @@ func (v *vault) pick() int {
 		}
 	}
 	return 0
+}
+
+// ProfSnapshot renders this cube's counters as a profile section (the
+// flush-time snapshot used by internal/prof; no hot-path hooks needed —
+// the existing statistics already carry the attribution).
+func (h *HMC) ProfSnapshot(id int) prof.HMCSection {
+	return prof.HMCSection{
+		HMC:            id,
+		Reads:          h.Stats.Reads.Value(),
+		Writes:         h.Stats.Writes.Value(),
+		Atomics:        h.Stats.Atomics.Value(),
+		RowHits:        h.Stats.RowHits.Value(),
+		RowMisses:      h.Stats.RowMisses.Value(),
+		Refreshes:      h.Stats.Refreshes.Value(),
+		Rejected:       h.Stats.Rejected.Value(),
+		Requests:       h.Stats.Service.Count(),
+		AvgQueueWaitPS: h.Stats.QueueWait.Value(),
+		AvgServicePS:   h.Stats.Service.Value(),
+	}
 }

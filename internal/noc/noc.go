@@ -22,6 +22,7 @@ import (
 
 	"memnet/internal/obs"
 	"memnet/internal/pool"
+	"memnet/internal/prof"
 	"memnet/internal/sim"
 	"memnet/internal/stats"
 )
@@ -111,6 +112,10 @@ type Packet struct {
 	// free marks a packet currently sitting in the network's free list;
 	// it guards against double release and use-after-release.
 	free bool
+
+	// prof is the packet's open latency-attribution record; nil unless a
+	// profiler is attached (see AttachProf).
+	prof *prof.PktRec
 }
 
 // NewRequest returns a request packet from terminal t to router (HMC) r.
@@ -263,6 +268,9 @@ type Network struct {
 	baseReach   *reachSnapshot
 	faultTrack  obs.Track
 	linkRetries int64
+
+	// prof is the attached latency-attribution collector (nil = off).
+	prof *prof.NetProf
 
 	nextAutoID uint64
 }
@@ -449,6 +457,9 @@ func (n *Network) Send(pkt *Packet) {
 	} else if pkt.SrcRouter >= 0 && pkt.DstTerm >= 0 {
 		n.Stats.Traffic.Add(pkt.DstTerm, pkt.SrcRouter, int64(pkt.Size))
 	}
+	if n.prof != nil {
+		pkt.prof = n.prof.Start(int64(pkt.CreatedAt), pkt.passHops)
+	}
 	if pkt.SrcTerm >= 0 {
 		n.terminals[pkt.SrcTerm].enqueue(pkt)
 	} else if pkt.SrcRouter >= 0 {
@@ -492,6 +503,9 @@ func (n *Network) step() bool {
 	for _, r := range n.routers {
 		r.allocate(n)
 	}
+	if n.prof != nil {
+		n.classifyCycle()
+	}
 	return n.active > 0 || n.creditsInFlight > 0
 }
 
@@ -512,6 +526,10 @@ func (n *Network) deliverToTerminal(t int, pkt *Packet) {
 
 func (n *Network) finish(pkt *Packet) {
 	pkt.DeliveredAt = n.eng.Now()
+	if pkt.prof != nil {
+		n.prof.Retire(pkt.prof, pkt.Class, int64(pkt.CreatedAt), int64(pkt.DeliveredAt))
+		pkt.prof = nil
+	}
 	n.Stats.PacketsDelivered.Inc()
 	n.Stats.FlitsDelivered.Add(int64(pkt.Size))
 	n.Stats.Latency.Add(float64(pkt.DeliveredAt - pkt.CreatedAt))

@@ -125,6 +125,9 @@ func (r *Router) addPort(out, in *Channel, peer peerKind, peerID int) int {
 // receive buffers an arriving flit into the input VC it travelled on.
 func (r *Router) receive(n *Network, port int, it channelItem) {
 	f := it.f
+	if f.pkt.prof != nil && f.head() {
+		n.prof.CloseFlight(f.pkt.prof, int64(n.eng.Now()), f.pkt.passHops)
+	}
 	f.readyCycle = n.cycle + int64(n.cfg.RouterPipeline)
 	p := r.in[port]
 	vc := &p.vcs[it.vc]
@@ -196,6 +199,9 @@ func (r *Router) switchTraversal(n *Network) {
 			vc.q.Pop()
 			if vc.q.Empty() {
 				p.occupied--
+			}
+			if bf.f.pkt.prof != nil && bf.f.head() {
+				n.prof.CloseRouter(bf.f.pkt.prof, int64(n.eng.Now()))
 			}
 			used[pi] = true
 			budget--
@@ -270,6 +276,9 @@ func (r *Router) switchTraversal(n *Network) {
 			}
 			if bf.f.head() && op.peer == peerRouter {
 				bf.f.pkt.Hops++
+			}
+			if bf.f.pkt.prof != nil && bf.f.head() {
+				n.prof.CloseRouter(bf.f.pkt.prof, int64(n.eng.Now()))
 			}
 			op.credits[vc.outVC]--
 			f := bf.f

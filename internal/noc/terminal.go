@@ -168,11 +168,17 @@ func (t *Terminal) inject(n *Network) {
 		}
 		vc := n.vcIndex(p.cur) // hop count 0: lowest VC of the class
 		if p.credits[vc] <= 0 || !p.toRouter.canSend(n.cycle) {
+			if rec := p.cur.prof; rec != nil && p.curFlit == 0 && p.credits[vc] <= 0 {
+				rec.NoteCredit()
+			}
 			continue
 		}
 		f := flit{pkt: p.cur, idx: p.curFlit}
 		p.credits[vc]--
 		p.toRouter.send(n.cycle, f, vc)
+		if rec := p.cur.prof; rec != nil && p.curFlit == 0 {
+			n.prof.CloseInject(rec, int64(n.eng.Now()))
+		}
 		n.flitsInjected++
 		p.curFlit++
 		if p.curFlit == p.cur.Size {
@@ -186,6 +192,9 @@ func (t *Terminal) inject(n *Network) {
 // the buffer-slot credit goes straight back to the sending router (except
 // for express pass-through flits, which never reserved one).
 func (t *Terminal) receive(n *Network, c *Channel, it channelItem) {
+	if rec := it.f.pkt.prof; rec != nil && it.f.head() {
+		n.prof.CloseFlight(rec, int64(n.eng.Now()), it.f.pkt.passHops)
+	}
 	if !it.f.passChain {
 		c.returnCredit(n, n.cycle, it.vc)
 	}

@@ -15,6 +15,7 @@ import (
 
 	"memnet/internal/audit"
 	"memnet/internal/obs"
+	"memnet/internal/prof"
 	"memnet/internal/sim"
 	"memnet/internal/stats"
 )
@@ -265,4 +266,19 @@ func (f *Fabric) RegisterAudits(reg *audit.Registry) {
 				f.Stats.WireBytes.Value(), f.Stats.Bytes.Value()))
 		}
 	})
+}
+
+// ProfSnapshot renders the fabric's counters as a profile section (the
+// flush-time snapshot used by internal/prof; no hot-path hooks needed —
+// the existing statistics already carry the attribution).
+func (f *Fabric) ProfSnapshot() prof.PCIeSection {
+	return prof.PCIeSection{
+		Transfers:    f.Stats.Transfers.Value(),
+		Bytes:        f.Stats.Bytes.Value(),
+		WireBytes:    f.Stats.WireBytes.Value(),
+		AvgLatencyPS: f.Stats.Latency.Value(),
+		LinkBusyPS:   f.Stats.LinkBusyPS.Value(),
+		Timeouts:     f.Stats.Timeouts.Value(),
+		Retries:      f.Stats.Retries.Value(),
+	}
 }

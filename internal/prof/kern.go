@@ -1,0 +1,99 @@
+package prof
+
+import "sort"
+
+// KernelGPU is the compute-side attribution of one (kernel, GPU) pair:
+// simulated time split into compute issue, memory wait, and launch
+// overhead. MemWaitPS sums per-operation round-trip latencies; memory
+// operations overlap inside an SM, so the sum is aggregate exposure, not
+// wall time — compare ratios across configurations, not absolute spans.
+type KernelGPU struct {
+	Kernel        string `json:"kernel"`
+	GPU           int    `json:"gpu"`
+	Launches      int64  `json:"launches"`
+	LaunchPS      int64  `json:"launch_ps"`
+	ComputeCycles int64  `json:"compute_cycles"`
+	ComputePS     int64  `json:"compute_ps"`
+	Instrs        int64  `json:"instrs"`
+	MemOps        int64  `json:"mem_ops"`
+	MemWaitPS     int64  `json:"mem_wait_ps"`
+
+	periodPS int64 // GPU core-clock period, for the ComputePS conversion
+}
+
+// KernelSpan is the scheduler-level view of one kernel across all GPUs:
+// launch count, page-table sync overhead, and total launch-to-completion
+// wall span in simulated ps.
+type KernelSpan struct {
+	Kernel   string `json:"kernel"`
+	Launches int64  `json:"launches"`
+	SyncPS   int64  `json:"sync_ps"`
+	SpanPS   int64  `json:"span_ps"`
+}
+
+type devKey struct {
+	kernel string
+	gpu    int
+}
+
+// KernProf collects compute-side attribution. Lookups happen once per
+// kernel launch (never per instruction): the GPU caches the returned
+// record on its launch context and the per-warp hot path costs one
+// pointer check.
+type KernProf struct {
+	devs  map[devKey]*KernelGPU
+	spans map[string]*KernelSpan
+}
+
+// NewKernProf returns an empty compute-side collector.
+func NewKernProf() *KernProf {
+	return &KernProf{
+		devs:  make(map[devKey]*KernelGPU),
+		spans: make(map[string]*KernelSpan),
+	}
+}
+
+// Device returns the record for (kernel, gpu), creating it with the given
+// core-clock period on first use.
+func (kp *KernProf) Device(kernel string, gpu int, periodPS int64) *KernelGPU {
+	k := devKey{kernel, gpu}
+	rec := kp.devs[k]
+	if rec == nil {
+		rec = &KernelGPU{Kernel: kernel, GPU: gpu, periodPS: periodPS}
+		kp.devs[k] = rec
+	}
+	return rec
+}
+
+// Span returns the scheduler-level record for a kernel, creating it on
+// first use.
+func (kp *KernProf) Span(kernel string) *KernelSpan {
+	rec := kp.spans[kernel]
+	if rec == nil {
+		rec = &KernelSpan{Kernel: kernel}
+		kp.spans[kernel] = rec
+	}
+	return rec
+}
+
+// Snapshot returns the collected records in deterministic order (kernel
+// name, then GPU id) with ComputePS derived from the accumulated cycles.
+func (kp *KernProf) Snapshot() ([]*KernelGPU, []*KernelSpan) {
+	devs := make([]*KernelGPU, 0, len(kp.devs))
+	for _, rec := range kp.devs {
+		rec.ComputePS = rec.ComputeCycles * rec.periodPS
+		devs = append(devs, rec)
+	}
+	sort.Slice(devs, func(i, j int) bool {
+		if devs[i].Kernel != devs[j].Kernel {
+			return devs[i].Kernel < devs[j].Kernel
+		}
+		return devs[i].GPU < devs[j].GPU
+	})
+	spans := make([]*KernelSpan, 0, len(kp.spans))
+	for _, rec := range kp.spans {
+		spans = append(spans, rec)
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Kernel < spans[j].Kernel })
+	return devs, spans
+}

@@ -1,0 +1,147 @@
+package prof
+
+import (
+	"compress/gzip"
+	"io"
+)
+
+// WritePprof writes the profile's folded stacks as a gzipped
+// pprof-compatible protobuf (`go tool pprof` opens it directly). The
+// single sample type is simtime/picoseconds; each frame (component,
+// router, VC, stage) becomes a synthetic function. The encoder is
+// hand-rolled against the stable profile.proto wire format so the tree
+// takes no protobuf dependency.
+func WritePprof(w io.Writer, p *Profile) error {
+	var b protoBuf
+
+	strs := []string{""}
+	strIdx := map[string]int64{"": 0}
+	st := func(s string) int64 {
+		if i, ok := strIdx[s]; ok {
+			return i
+		}
+		i := int64(len(strs))
+		strs = append(strs, s)
+		strIdx[s] = i
+		return i
+	}
+
+	// sample_type (field 1): ValueType{type: "simtime", unit: "picoseconds"}.
+	var vt protoBuf
+	vt.int64Field(1, st("simtime"))
+	vt.int64Field(2, st("picoseconds"))
+	b.bytesField(1, vt.b)
+
+	// One synthetic function + single-line location per unique frame name.
+	funcID := map[string]uint64{}
+	var funcs, locs protoBuf
+	frameID := func(name string) uint64 {
+		if id, ok := funcID[name]; ok {
+			return id
+		}
+		id := uint64(len(funcID) + 1)
+		funcID[name] = id
+		var fn protoBuf
+		fn.uint64Field(1, id)
+		fn.int64Field(2, st(name))
+		funcs.bytesField(5, fn.b)
+		var line protoBuf
+		line.uint64Field(1, id)
+		var loc protoBuf
+		loc.uint64Field(1, id)
+		loc.bytesField(4, line.b)
+		locs.bytesField(4, loc.b)
+		return id
+	}
+
+	var samples protoBuf
+	for _, s := range stacks(p) {
+		var sm protoBuf
+		// Location ids are leaf-first; stacks() frames are root-first.
+		ids := make([]uint64, len(s.frames))
+		for i, f := range s.frames {
+			ids[len(s.frames)-1-i] = frameID(f)
+		}
+		sm.packedUint64s(1, ids)
+		sm.packedInt64s(2, []int64{s.value})
+		samples.bytesField(2, sm.b)
+	}
+
+	b.b = append(b.b, samples.b...)
+	b.b = append(b.b, locs.b...)
+	b.b = append(b.b, funcs.b...)
+	for _, s := range strs {
+		b.stringField(6, s)
+	}
+
+	gz := gzip.NewWriter(w)
+	if _, err := gz.Write(b.b); err != nil {
+		return err
+	}
+	return gz.Close()
+}
+
+// protoBuf is a minimal protobuf wire-format encoder.
+type protoBuf struct{ b []byte }
+
+func (p *protoBuf) varint(v uint64) {
+	for v >= 0x80 {
+		p.b = append(p.b, byte(v)|0x80)
+		v >>= 7
+	}
+	p.b = append(p.b, byte(v))
+}
+
+func (p *protoBuf) tag(field, wire int) {
+	p.varint(uint64(field)<<3 | uint64(wire))
+}
+
+func (p *protoBuf) int64Field(field int, v int64) {
+	if v == 0 {
+		return
+	}
+	p.tag(field, 0)
+	p.varint(uint64(v))
+}
+
+func (p *protoBuf) uint64Field(field int, v uint64) {
+	if v == 0 {
+		return
+	}
+	p.tag(field, 0)
+	p.varint(v)
+}
+
+func (p *protoBuf) bytesField(field int, b []byte) {
+	p.tag(field, 2)
+	p.varint(uint64(len(b)))
+	p.b = append(p.b, b...)
+}
+
+func (p *protoBuf) stringField(field int, s string) {
+	p.tag(field, 2)
+	p.varint(uint64(len(s)))
+	p.b = append(p.b, s...)
+}
+
+func (p *protoBuf) packedUint64s(field int, vs []uint64) {
+	if len(vs) == 0 {
+		return
+	}
+	var body protoBuf
+	for _, v := range vs {
+		body.varint(v)
+	}
+	p.bytesField(field, body.b)
+}
+
+func (p *protoBuf) packedInt64s(field int, vs []int64) {
+	if len(vs) == 0 {
+		return
+	}
+	var body protoBuf
+	for _, v := range vs {
+		body.varint(uint64(v))
+	}
+	p.bytesField(field, body.b)
+}

@@ -1,0 +1,147 @@
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"strings"
+	"testing"
+)
+
+// sampleProfile builds a small hand-made artifact exercising every
+// section the renderers read.
+func sampleProfile() *Profile {
+	return &Profile{
+		Schema: Schema,
+		Run:    "VA/UMN",
+		Net: &NetSection{
+			ClockMHz: 1250,
+			Cycles:   1000,
+			Classes: []ClassProfile{{
+				Class:   "request",
+				Count:   10,
+				TotalPS: 5000,
+				Stages: map[string]int64{
+					"src_queue": 3000,
+					"pipeline":  1500,
+					"wire":      500,
+				},
+			}},
+			Routers: []RouterHeat{{
+				Ports: 2, VCs: 2,
+				Cells: []HeatCell{
+					{Occ: 40}, {VCAllocGap: 3},
+					{ArbStall: 2}, {CreditStall: 1},
+				},
+			}},
+			Channels: []ChannelHeat{
+				{Index: 0, SrcRouter: 0, DstRouter: 1, BusyCycles: 700},
+			},
+		},
+		Kernels: []*KernelGPU{{
+			Kernel: "VA", GPU: 0, Launches: 1, LaunchPS: 2000,
+			ComputePS: 1000, MemWaitPS: 4000, Instrs: 128, MemOps: 32,
+		}},
+		KernelSpans: []*KernelSpan{{
+			Kernel: "VA", Launches: 1, SyncPS: 500, SpanPS: 9000,
+		}},
+		HMCs: []HMCSection{{
+			HMC: 0, Reads: 5, Writes: 3, RowHits: 6, RowMisses: 2, Requests: 8,
+		}},
+		PCIe: &PCIeSection{Transfers: 2, Bytes: 4096, LinkBusyPS: 1000},
+	}
+}
+
+// TestJSONRoundTrip pins the on-disk format: WriteJSON output reloads
+// into an equivalent Profile and carries the schema tag.
+func TestJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, sampleProfile()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != Schema || got.Run != "VA/UMN" {
+		t.Fatalf("round trip lost header: %+v", got)
+	}
+	if len(got.Net.Classes) != 1 || got.Net.Classes[0].Stages["src_queue"] != 3000 {
+		t.Fatalf("round trip lost stage data: %+v", got.Net.Classes)
+	}
+	if len(got.Kernels) != 1 || got.Kernels[0].MemWaitPS != 4000 {
+		t.Fatalf("round trip lost kernel data: %+v", got.Kernels)
+	}
+}
+
+// TestLoadRejectsWrongSchema: a valid-JSON file from some other tool
+// must fail with a clear error, not decode into garbage.
+func TestLoadRejectsWrongSchema(t *testing.T) {
+	_, err := Load(strings.NewReader(`{"schema":"other/v9"}`))
+	if err == nil || !strings.Contains(err.Error(), "other/v9") {
+		t.Fatalf("wrong-schema load error = %v", err)
+	}
+}
+
+// TestRenderers smoke-tests every output mode against the sample
+// profile: each must produce non-empty output mentioning the data it
+// was given.
+func TestRenderers(t *testing.T) {
+	p := sampleProfile()
+
+	var sum bytes.Buffer
+	Summary(&sum, p)
+	for _, want := range []string{"VA/UMN", "src_queue", "request", "hmc", "pcie"} {
+		if !strings.Contains(sum.String(), want) {
+			t.Errorf("summary missing %q:\n%s", want, sum.String())
+		}
+	}
+
+	var heat bytes.Buffer
+	RenderHeatmap(&heat, p, false)
+	if !strings.Contains(heat.String(), "r0") {
+		t.Errorf("heatmap missing router row:\n%s", heat.String())
+	}
+
+	var csv bytes.Buffer
+	WriteCSV(&csv, p)
+	if !strings.Contains(csv.String(), "section,key,metric,value") ||
+		!strings.Contains(csv.String(), "src_queue") {
+		t.Errorf("csv missing header or stage rows:\n%s", csv.String())
+	}
+
+	var folded bytes.Buffer
+	WriteCollapsed(&folded, p)
+	for _, line := range strings.Split(strings.TrimSpace(folded.String()), "\n") {
+		fields := strings.Split(line, " ")
+		if len(fields) != 2 || !strings.Contains(fields[0], ";") {
+			t.Errorf("malformed folded stack line %q", line)
+		}
+	}
+	if !strings.Contains(folded.String(), "mem_wait 4000") {
+		t.Errorf("folded stacks missing kernel frame:\n%s", folded.String())
+	}
+}
+
+// TestWritePprof checks the hand-rolled protobuf stream is gzipped and
+// non-trivial; full semantic validation (go tool pprof) runs in CI.
+func TestWritePprof(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePprof(&buf, sampleProfile()); err != nil {
+		t.Fatal(err)
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("pprof output is not gzip: %v", err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) < 64 {
+		t.Fatalf("suspiciously small pprof payload: %d bytes", len(raw))
+	}
+	if !bytes.Contains(raw, []byte("src_queue")) {
+		t.Fatal("pprof string table missing stage names")
+	}
+}

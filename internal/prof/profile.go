@@ -1,0 +1,123 @@
+package prof
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Schema identifies the profile artifact format.
+const Schema = "memnet-prof/v1"
+
+// Profile is the serialized artifact of one run: the network latency
+// decomposition and heat, the compute-side breakdown, and snapshot
+// sections for the memory cubes and the PCIe fabric.
+type Profile struct {
+	Schema      string        `json:"schema"`
+	Run         string        `json:"run,omitempty"`
+	Net         *NetSection   `json:"net,omitempty"`
+	Kernels     []*KernelGPU  `json:"kernels,omitempty"`
+	KernelSpans []*KernelSpan `json:"kernel_spans,omitempty"`
+	HMCs        []HMCSection  `json:"hmcs,omitempty"`
+	PCIe        *PCIeSection  `json:"pcie,omitempty"`
+}
+
+// NetSection is the network half of a profile.
+type NetSection struct {
+	ClockMHz float64        `json:"clock_mhz"`
+	Cycles   int64          `json:"cycles"`
+	Classes  []ClassProfile `json:"classes"`
+	Routers  []RouterHeat   `json:"routers"`
+	Channels []ChannelHeat  `json:"channels"`
+}
+
+// ClassProfile is one message class's aggregated stage decomposition.
+type ClassProfile struct {
+	Class   string           `json:"class"`
+	Count   int64            `json:"count"`
+	TotalPS int64            `json:"total_ps"`
+	Stages  map[string]int64 `json:"stages_ps"`
+}
+
+// ClassProfiles renders the collected class aggregates with named stages.
+// Zero-value stages are kept so consumers see the full decomposition.
+func (np *NetProf) ClassProfiles() []ClassProfile {
+	out := make([]ClassProfile, 0, len(np.Classes))
+	for ci := range np.Classes {
+		agg := &np.Classes[ci]
+		stages := make(map[string]int64, NumStages)
+		for s := Stage(0); s < NumStages; s++ {
+			stages[s.String()] = agg.Stages[s]
+		}
+		out = append(out, ClassProfile{
+			Class:   ClassName(ci),
+			Count:   agg.Count,
+			TotalPS: agg.TotalPS,
+			Stages:  stages,
+		})
+	}
+	return out
+}
+
+// HMCSection is a flush-time snapshot of one memory cube's counters.
+type HMCSection struct {
+	HMC            int     `json:"hmc"`
+	Reads          int64   `json:"reads"`
+	Writes         int64   `json:"writes"`
+	Atomics        int64   `json:"atomics"`
+	RowHits        int64   `json:"row_hits"`
+	RowMisses      int64   `json:"row_misses"`
+	Refreshes      int64   `json:"refreshes"`
+	Rejected       int64   `json:"rejected,omitempty"`
+	Requests       int64   `json:"requests"`
+	AvgQueueWaitPS float64 `json:"avg_queue_wait_ps"`
+	AvgServicePS   float64 `json:"avg_service_ps"`
+}
+
+// PCIeSection is a flush-time snapshot of the PCIe fabric's counters.
+type PCIeSection struct {
+	Transfers    int64   `json:"transfers"`
+	Bytes        int64   `json:"bytes"`
+	WireBytes    int64   `json:"wire_bytes"`
+	AvgLatencyPS float64 `json:"avg_latency_ps"`
+	LinkBusyPS   int64   `json:"link_busy_ps"`
+	Timeouts     int64   `json:"timeouts,omitempty"`
+	Retries      int64   `json:"retries,omitempty"`
+}
+
+// WriteJSON writes the profile as indented JSON.
+func WriteJSON(w io.Writer, p *Profile) error {
+	if p.Schema == "" {
+		p.Schema = Schema
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(p)
+}
+
+// Load reads a profile and validates its schema tag.
+func Load(r io.Reader) (*Profile, error) {
+	p := &Profile{}
+	if err := json.NewDecoder(r).Decode(p); err != nil {
+		return nil, fmt.Errorf("prof: decode profile: %w", err)
+	}
+	if p.Schema != Schema {
+		return nil, fmt.Errorf("prof: unsupported schema %q (want %q)", p.Schema, Schema)
+	}
+	return p, nil
+}
+
+// LoadFile reads a profile artifact from disk.
+func LoadFile(path string) (*Profile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	p, err := Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return p, nil
+}

@@ -1,0 +1,442 @@
+package prof
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// fmtPS renders a simulated-picosecond quantity in a readable unit.
+func fmtPS(ps int64) string {
+	f := float64(ps)
+	switch {
+	case ps >= 1e9:
+		return fmt.Sprintf("%.3fms", f/1e9)
+	case ps >= 1e6:
+		return fmt.Sprintf("%.3fus", f/1e6)
+	case ps >= 1e3:
+		return fmt.Sprintf("%.3fns", f/1e3)
+	default:
+		return fmt.Sprintf("%dps", ps)
+	}
+}
+
+// periodPS returns the network clock period in ps (0 if unknown).
+func (ns *NetSection) periodPS() int64 {
+	if ns == nil || ns.ClockMHz <= 0 {
+		return 0
+	}
+	return int64(1e6/ns.ClockMHz + 0.5)
+}
+
+// Summary writes the one-page per-run profile summary.
+func Summary(w io.Writer, p *Profile) {
+	if p.Run != "" {
+		fmt.Fprintf(w, "profile: %s\n", p.Run)
+	}
+	if ns := p.Net; ns != nil {
+		fmt.Fprintf(w, "network: %d routers, %d channels, %d cycles @ %g MHz\n",
+			len(ns.Routers), len(ns.Channels), ns.Cycles, ns.ClockMHz)
+		fmt.Fprintf(w, "\npacket latency by stage:\n")
+		for _, c := range ns.Classes {
+			if c.Count == 0 {
+				continue
+			}
+			avg := c.TotalPS / c.Count
+			fmt.Fprintf(w, "  %-9s %d packets, avg %s\n", c.Class, c.Count, fmtPS(avg))
+			type sv struct {
+				name string
+				ps   int64
+			}
+			var rows []sv
+			for name, ps := range c.Stages {
+				if ps > 0 {
+					rows = append(rows, sv{name, ps})
+				}
+			}
+			sort.Slice(rows, func(i, j int) bool {
+				if rows[i].ps != rows[j].ps {
+					return rows[i].ps > rows[j].ps
+				}
+				return rows[i].name < rows[j].name
+			})
+			for _, r := range rows {
+				fmt.Fprintf(w, "    %-18s %10s/pkt  %5.1f%%\n",
+					r.name, fmtPS(r.ps/c.Count), 100*float64(r.ps)/float64(c.TotalPS))
+			}
+		}
+		summarizeHotspots(w, ns)
+	}
+	if len(p.Kernels) > 0 {
+		fmt.Fprintf(w, "\nkernels (per GPU):\n")
+		for _, k := range p.Kernels {
+			fmt.Fprintf(w, "  %-12s gpu%-2d launches=%d compute=%s mem-wait=%s launch=%s (%d instrs, %d mem ops)\n",
+				k.Kernel, k.GPU, k.Launches, fmtPS(k.ComputePS), fmtPS(k.MemWaitPS), fmtPS(k.LaunchPS),
+				k.Instrs, k.MemOps)
+		}
+	}
+	if len(p.KernelSpans) > 0 {
+		fmt.Fprintf(w, "kernel spans:\n")
+		for _, k := range p.KernelSpans {
+			fmt.Fprintf(w, "  %-12s launches=%d span=%s page-table-sync=%s\n",
+				k.Kernel, k.Launches, fmtPS(k.SpanPS), fmtPS(k.SyncPS))
+		}
+	}
+	if len(p.HMCs) > 0 {
+		var reads, writes, atomics, hits, misses, reqs int64
+		var qw, svc float64
+		for _, h := range p.HMCs {
+			reads += h.Reads
+			writes += h.Writes
+			atomics += h.Atomics
+			hits += h.RowHits
+			misses += h.RowMisses
+			reqs += h.Requests
+			qw += h.AvgQueueWaitPS * float64(h.Requests)
+			svc += h.AvgServicePS * float64(h.Requests)
+		}
+		fmt.Fprintf(w, "hmc: %d cubes, %d reads, %d writes, %d atomics", len(p.HMCs), reads, writes, atomics)
+		if hits+misses > 0 {
+			fmt.Fprintf(w, ", row-hit %.1f%%", 100*float64(hits)/float64(hits+misses))
+		}
+		if reqs > 0 {
+			fmt.Fprintf(w, ", avg queue-wait %s, avg service %s",
+				fmtPS(int64(qw/float64(reqs))), fmtPS(int64(svc/float64(reqs))))
+		}
+		fmt.Fprintln(w)
+	}
+	if pc := p.PCIe; pc != nil && pc.Transfers > 0 {
+		fmt.Fprintf(w, "pcie: %d transfers, %d payload bytes, avg latency %s, link busy %s\n",
+			pc.Transfers, pc.Bytes, fmtPS(int64(pc.AvgLatencyPS)), fmtPS(pc.LinkBusyPS))
+	}
+}
+
+// summarizeHotspots prints the stalliest routers and busiest channels.
+func summarizeHotspots(w io.Writer, ns *NetSection) {
+	type hot struct {
+		id     int
+		stalls int64
+	}
+	var routers []hot
+	for ri := range ns.Routers {
+		var s int64
+		for ci := range ns.Routers[ri].Cells {
+			s += ns.Routers[ri].Cells[ci].Stalls()
+		}
+		if s > 0 {
+			routers = append(routers, hot{ri, s})
+		}
+	}
+	sort.Slice(routers, func(i, j int) bool {
+		if routers[i].stalls != routers[j].stalls {
+			return routers[i].stalls > routers[j].stalls
+		}
+		return routers[i].id < routers[j].id
+	})
+	if len(routers) > 0 {
+		fmt.Fprintf(w, "\nhottest routers (stall cycles):")
+		for i, h := range routers {
+			if i == 5 {
+				break
+			}
+			fmt.Fprintf(w, " r%d=%d", h.id, h.stalls)
+		}
+		fmt.Fprintln(w)
+	}
+	chs := append([]ChannelHeat(nil), ns.Channels...)
+	sort.Slice(chs, func(i, j int) bool {
+		if chs[i].BusyCycles != chs[j].BusyCycles {
+			return chs[i].BusyCycles > chs[j].BusyCycles
+		}
+		return chs[i].Index < chs[j].Index
+	})
+	shown := 0
+	for _, c := range chs {
+		if c.BusyCycles == 0 || shown == 5 {
+			break
+		}
+		if shown == 0 {
+			fmt.Fprintf(w, "busiest channels:")
+		}
+		util := ""
+		if ns.Cycles > 0 {
+			util = fmt.Sprintf(" (%.1f%%)", 100*float64(c.BusyCycles)/float64(ns.Cycles))
+		}
+		fmt.Fprintf(w, " ch%d %s->%s=%d%s", c.Index, endpointName(c.SrcRouter, c.SrcTerm),
+			endpointName(c.DstRouter, c.DstTerm), c.BusyCycles, util)
+		shown++
+	}
+	if shown > 0 {
+		fmt.Fprintln(w)
+	}
+}
+
+func endpointName(router, term int) string {
+	if router >= 0 {
+		return fmt.Sprintf("r%d", router)
+	}
+	if term >= 0 {
+		return fmt.Sprintf("t%d", term)
+	}
+	return "?"
+}
+
+// shades maps a 0..1 intensity to an ASCII density ramp.
+var shades = []byte(" .:-=+*#%@")
+
+func shadeFor(v, max float64) byte {
+	if max <= 0 || v <= 0 {
+		return shades[0]
+	}
+	i := int(v / max * float64(len(shades)-1))
+	if i >= len(shades) {
+		i = len(shades) - 1
+	}
+	return shades[i]
+}
+
+// ansiCell renders an intensity as a 256-color heat block.
+func ansiCell(v, max float64) string {
+	if max <= 0 || v <= 0 {
+		return "\x1b[48;5;234m  \x1b[0m"
+	}
+	// Grayscale 234..255 then into the red/yellow ramp for the top end.
+	ramp := []int{234, 238, 242, 246, 250, 226, 220, 214, 208, 202, 196}
+	i := int(v / max * float64(len(ramp)-1))
+	if i >= len(ramp) {
+		i = len(ramp) - 1
+	}
+	return fmt.Sprintf("\x1b[48;5;%dm  \x1b[0m", ramp[i])
+}
+
+// RenderHeatmap writes congestion heatmaps: one row per router, one
+// column per port (VCs aggregated), for buffer occupancy and for stall
+// cycles, plus a channel-utilization strip. ANSI mode uses 256-color
+// blocks; plain mode uses an ASCII density ramp.
+func RenderHeatmap(w io.Writer, p *Profile, ansi bool) {
+	ns := p.Net
+	if ns == nil || len(ns.Routers) == 0 {
+		fmt.Fprintln(w, "no network heat data")
+		return
+	}
+	maxPorts := 0
+	for ri := range ns.Routers {
+		if ns.Routers[ri].Ports > maxPorts {
+			maxPorts = ns.Routers[ri].Ports
+		}
+	}
+	// Per-(router, port) aggregates.
+	occ := make([][]float64, len(ns.Routers))
+	stall := make([][]float64, len(ns.Routers))
+	var occMax, stallMax float64
+	for ri := range ns.Routers {
+		rh := &ns.Routers[ri]
+		occ[ri] = make([]float64, rh.Ports)
+		stall[ri] = make([]float64, rh.Ports)
+		for pi := 0; pi < rh.Ports; pi++ {
+			for vi := 0; vi < rh.VCs; vi++ {
+				c := rh.Cell(pi, vi)
+				occ[ri][pi] += float64(c.Occ)
+				stall[ri][pi] += float64(c.Stalls())
+			}
+			if occ[ri][pi] > occMax {
+				occMax = occ[ri][pi]
+			}
+			if stall[ri][pi] > stallMax {
+				stallMax = stall[ri][pi]
+			}
+		}
+	}
+	render := func(title string, vals [][]float64, max float64) {
+		fmt.Fprintf(w, "%s (rows = routers, cols = input ports, NI last; max cell = %.0f):\n", title, max)
+		header := "      "
+		for pi := 0; pi < maxPorts; pi++ {
+			if ansi {
+				header += fmt.Sprintf("%-2d", pi%100)
+			} else {
+				header += fmt.Sprintf("%d", pi%10)
+			}
+		}
+		fmt.Fprintln(w, header)
+		for ri := range vals {
+			var b strings.Builder
+			fmt.Fprintf(&b, "r%-4d ", ri)
+			for pi := range vals[ri] {
+				if ansi {
+					b.WriteString(ansiCell(vals[ri][pi], max))
+				} else {
+					b.WriteByte(shadeFor(vals[ri][pi], max))
+				}
+			}
+			fmt.Fprintln(w, b.String())
+		}
+		fmt.Fprintln(w)
+	}
+	render("buffer occupancy (flit-cycles)", occ, occMax)
+	render("stall cycles (credit + vc-alloc + arb + eject)", stall, stallMax)
+
+	if ns.Cycles > 0 && len(ns.Channels) > 0 {
+		fmt.Fprintln(w, "channel utilization (busy cycles / total cycles):")
+		for _, c := range ns.Channels {
+			util := float64(c.BusyCycles) / float64(ns.Cycles)
+			if util <= 0 {
+				continue
+			}
+			bar := strings.Repeat("#", int(util*40+0.5))
+			fmt.Fprintf(w, "  ch%-4d %s->%s %6.1f%% %s\n", c.Index,
+				endpointName(c.SrcRouter, c.SrcTerm), endpointName(c.DstRouter, c.DstTerm),
+				100*util, bar)
+		}
+	}
+}
+
+// WriteCSV dumps the profile in long (tidy) form: section,key,metric,value.
+func WriteCSV(w io.Writer, p *Profile) {
+	fmt.Fprintln(w, "section,key,metric,value")
+	if ns := p.Net; ns != nil {
+		fmt.Fprintf(w, "net,,cycles,%d\n", ns.Cycles)
+		fmt.Fprintf(w, "net,,clock_mhz,%g\n", ns.ClockMHz)
+		for _, c := range ns.Classes {
+			fmt.Fprintf(w, "class,%s,count,%d\n", c.Class, c.Count)
+			fmt.Fprintf(w, "class,%s,total_ps,%d\n", c.Class, c.TotalPS)
+			for s := Stage(0); s < NumStages; s++ {
+				fmt.Fprintf(w, "class,%s,%s_ps,%d\n", c.Class, s, c.Stages[s.String()])
+			}
+		}
+		for ri := range ns.Routers {
+			rh := &ns.Routers[ri]
+			for pi := 0; pi < rh.Ports; pi++ {
+				for vi := 0; vi < rh.VCs; vi++ {
+					c := rh.Cell(pi, vi)
+					if c.Occ == 0 && c.Stalls() == 0 {
+						continue
+					}
+					key := fmt.Sprintf("r%d.p%d.vc%d", ri, pi, vi)
+					fmt.Fprintf(w, "router,%s,occ_flit_cycles,%d\n", key, c.Occ)
+					fmt.Fprintf(w, "router,%s,credit_stall_cycles,%d\n", key, c.CreditStall)
+					fmt.Fprintf(w, "router,%s,vc_alloc_stall_cycles,%d\n", key, c.VCAllocGap)
+					fmt.Fprintf(w, "router,%s,arb_stall_cycles,%d\n", key, c.ArbStall)
+					fmt.Fprintf(w, "router,%s,eject_stall_cycles,%d\n", key, c.EjectStall)
+				}
+			}
+		}
+		for _, c := range ns.Channels {
+			key := fmt.Sprintf("ch%d.%s-%s", c.Index,
+				endpointName(c.SrcRouter, c.SrcTerm), endpointName(c.DstRouter, c.DstTerm))
+			fmt.Fprintf(w, "channel,%s,busy_cycles,%d\n", key, c.BusyCycles)
+			if c.Retries > 0 {
+				fmt.Fprintf(w, "channel,%s,retries,%d\n", key, c.Retries)
+			}
+		}
+	}
+	for _, k := range p.Kernels {
+		key := fmt.Sprintf("%s.gpu%d", k.Kernel, k.GPU)
+		fmt.Fprintf(w, "kernel,%s,launches,%d\n", key, k.Launches)
+		fmt.Fprintf(w, "kernel,%s,compute_ps,%d\n", key, k.ComputePS)
+		fmt.Fprintf(w, "kernel,%s,mem_wait_ps,%d\n", key, k.MemWaitPS)
+		fmt.Fprintf(w, "kernel,%s,launch_ps,%d\n", key, k.LaunchPS)
+		fmt.Fprintf(w, "kernel,%s,instrs,%d\n", key, k.Instrs)
+		fmt.Fprintf(w, "kernel,%s,mem_ops,%d\n", key, k.MemOps)
+	}
+	for _, k := range p.KernelSpans {
+		fmt.Fprintf(w, "kernel_span,%s,launches,%d\n", k.Kernel, k.Launches)
+		fmt.Fprintf(w, "kernel_span,%s,span_ps,%d\n", k.Kernel, k.SpanPS)
+		fmt.Fprintf(w, "kernel_span,%s,sync_ps,%d\n", k.Kernel, k.SyncPS)
+	}
+	for _, h := range p.HMCs {
+		key := fmt.Sprintf("hmc%d", h.HMC)
+		fmt.Fprintf(w, "hmc,%s,reads,%d\n", key, h.Reads)
+		fmt.Fprintf(w, "hmc,%s,writes,%d\n", key, h.Writes)
+		fmt.Fprintf(w, "hmc,%s,atomics,%d\n", key, h.Atomics)
+		fmt.Fprintf(w, "hmc,%s,row_hits,%d\n", key, h.RowHits)
+		fmt.Fprintf(w, "hmc,%s,row_misses,%d\n", key, h.RowMisses)
+		fmt.Fprintf(w, "hmc,%s,avg_queue_wait_ps,%g\n", key, h.AvgQueueWaitPS)
+		fmt.Fprintf(w, "hmc,%s,avg_service_ps,%g\n", key, h.AvgServicePS)
+	}
+	if pc := p.PCIe; pc != nil {
+		fmt.Fprintf(w, "pcie,,transfers,%d\n", pc.Transfers)
+		fmt.Fprintf(w, "pcie,,bytes,%d\n", pc.Bytes)
+		fmt.Fprintf(w, "pcie,,wire_bytes,%d\n", pc.WireBytes)
+		fmt.Fprintf(w, "pcie,,avg_latency_ps,%g\n", pc.AvgLatencyPS)
+		fmt.Fprintf(w, "pcie,,link_busy_ps,%d\n", pc.LinkBusyPS)
+	}
+}
+
+// stackSample is one folded-stack line: frames root-first plus a value.
+type stackSample struct {
+	frames []string
+	value  int64
+}
+
+// stacks flattens the profile into folded stacks where the "call chain"
+// is component -> router -> VC -> stage. All values are simulated
+// picoseconds so the shapes compose in one flame graph; occupancy
+// (flit-cycles, not time) is excluded.
+func stacks(p *Profile) []stackSample {
+	var out []stackSample
+	add := func(value int64, frames ...string) {
+		if value > 0 {
+			out = append(out, stackSample{frames: frames, value: value})
+		}
+	}
+	if ns := p.Net; ns != nil {
+		period := ns.periodPS()
+		for _, c := range ns.Classes {
+			for s := Stage(0); s < NumStages; s++ {
+				add(c.Stages[s.String()], "noc", c.Class, s.String())
+			}
+		}
+		for ri := range ns.Routers {
+			rh := &ns.Routers[ri]
+			r := fmt.Sprintf("r%d", ri)
+			for pi := 0; pi < rh.Ports; pi++ {
+				pn := fmt.Sprintf("p%d", pi)
+				if pi == rh.Ports-1 {
+					pn = "ni"
+				}
+				for vi := 0; vi < rh.VCs; vi++ {
+					c := rh.Cell(pi, vi)
+					vn := fmt.Sprintf("vc%d", vi)
+					add(c.CreditStall*period, "heat", r, pn, vn, "credit_stall")
+					add(c.VCAllocGap*period, "heat", r, pn, vn, "vc_alloc_stall")
+					add(c.ArbStall*period, "heat", r, pn, vn, "switch_arb_stall")
+					add(c.EjectStall*period, "heat", r, pn, vn, "eject_stall")
+				}
+			}
+		}
+	}
+	for _, k := range p.Kernels {
+		g := fmt.Sprintf("gpu%d", k.GPU)
+		add(k.ComputePS, g, k.Kernel, "compute")
+		add(k.MemWaitPS, g, k.Kernel, "mem_wait")
+		add(k.LaunchPS, g, k.Kernel, "launch")
+	}
+	for _, k := range p.KernelSpans {
+		add(k.SyncPS, "ske", k.Kernel, "page_table_sync")
+	}
+	for _, h := range p.HMCs {
+		hn := fmt.Sprintf("hmc%d", h.HMC)
+		add(int64(h.AvgQueueWaitPS*float64(h.Requests)), hn, "queue_wait")
+		add(int64(h.AvgServicePS*float64(h.Requests)), hn, "service")
+	}
+	if pc := p.PCIe; pc != nil {
+		add(pc.LinkBusyPS, "pcie", "link_busy")
+	}
+	return out
+}
+
+// WriteCollapsed writes the profile as collapsed (folded) stacks, the
+// input format of flamegraph.pl / speedscope / inferno. Values are
+// simulated picoseconds.
+func WriteCollapsed(w io.Writer, p *Profile) {
+	ss := stacks(p)
+	lines := make([]string, 0, len(ss))
+	for _, s := range ss {
+		lines = append(lines, fmt.Sprintf("%s %d", strings.Join(s.frames, ";"), s.value))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Fprintln(w, l)
+	}
+}

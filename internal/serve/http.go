@@ -40,10 +40,12 @@ func (s *Server) buildMux() {
 	mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/version", s.handleVersion)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/profile", s.handleProfile)
 	mux.HandleFunc("POST /v1/run", s.handleRun)
 	if s.cfg.Metrics != nil {
 		mux.Handle("GET /metrics", s.cfg.Metrics.Handler())
@@ -130,6 +132,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, s.Stats())
 }
 
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, BuildVersion())
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	spec, err := decodeSpec(w, r)
 	if err != nil {
@@ -207,6 +213,31 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	default:
 		s.httpError(w, http.StatusNotFound, fmt.Errorf("serve: job is %s; result not ready", state))
 	}
+}
+
+// handleProfile serves the job's per-run latency-attribution profiles as
+// a JSON array (one "memnet-prof/v1" object per run, in run-start order).
+// 404 until the job is done, and for jobs run without server-side
+// profiling — including results revived from the disk cache, which carry
+// text only.
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	s.mu.Lock()
+	state, profiles := j.state, j.profiles
+	s.mu.Unlock()
+	if state != StateDone {
+		s.httpError(w, http.StatusNotFound, fmt.Errorf("serve: job is %s; profile not ready", state))
+		return
+	}
+	if len(profiles) == 0 {
+		s.httpError(w, http.StatusNotFound,
+			fmt.Errorf("serve: no profile for this job (server profiling disabled, or result revived from the disk cache)"))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, profiles)
 }
 
 // handleEvents streams the job's progress as JSON lines: the full replay

@@ -166,11 +166,14 @@ type job struct {
 	queuedAt time.Time
 	prog     *telemetry.Progress
 
-	result  string // rendered experiment text (terminal state "done")
-	errMsg  string // terminal state "failed"
-	events  []string
-	dropped int // progress events beyond maxJobEvents
-	subs    map[chan string]struct{}
+	result string // rendered experiment text (terminal state "done")
+	errMsg string // terminal state "failed"
+	// profiles holds one latency-attribution profile per run of the job
+	// (Config.Profile only; empty for cache-revived results).
+	profiles []json.RawMessage
+	events   []string
+	dropped  int // progress events beyond maxJobEvents
+	subs     map[chan string]struct{}
 
 	done chan struct{}
 }

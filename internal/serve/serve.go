@@ -22,11 +22,14 @@
 //	GET  /v1/readyz             readiness probe (503 once draining starts)
 //	GET  /v1/experiments        the experiment registry (JSON)
 //	GET  /v1/stats              queue/cache/simulation counters (JSON)
+//	GET  /v1/version            server build info (module, Go, VCS ref)
 //	GET  /metrics               Prometheus text exposition (with Config.Metrics)
 //	POST /v1/jobs               submit a JobSpec; returns id + state
 //	GET  /v1/jobs/{id}          job status (JSON; live progress rates while running)
 //	GET  /v1/jobs/{id}/events   progress stream (JSON lines, replay + live)
 //	GET  /v1/jobs/{id}/result   the result text (404 until done)
+//	GET  /v1/jobs/{id}/profile  per-run latency-attribution profiles (JSON
+//	                            array; 404 unless run with Config.Profile)
 //	POST /v1/run                submit and wait; returns the result text
 //
 // Telemetry is wall-clock and strictly passive: the simulated-time
@@ -38,6 +41,7 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -45,6 +49,7 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -102,6 +107,12 @@ type Config struct {
 	// content-address under the "job" attribute. Nil falls back to a JSON
 	// logger on Log's writer (or stderr when Log is also nil).
 	Logger *slog.Logger
+	// Profile, when true, collects a latency-attribution profile (package
+	// prof) for every run of every executed job and serves them at
+	// GET /v1/jobs/{id}/profile. Profiling is passive — served results
+	// stay byte-identical — but the profiles themselves are served from
+	// memory only: results revived from the disk cache have none.
+	Profile bool
 	// Metrics, when non-nil, receives the server's wall-clock telemetry
 	// (queue depth, cache hits, latency histograms, per-job progress
 	// rates) and is exposed as GET /metrics on the server's handler.
@@ -126,6 +137,9 @@ type Stats struct {
 	// idle): how fast simulated time is advancing in real seconds, and
 	// how long since the job last reported anything.
 	Progress *JobProgress `json:"progress,omitempty"`
+
+	// Version identifies the server build (also at GET /v1/version).
+	Version Version `json:"version"`
 }
 
 // JobProgress is the running job's live wall-clock progress view.
@@ -224,6 +238,7 @@ func (s *Server) progressSnapshot() telemetry.ProgressSnapshot {
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	st := s.stats
+	st.Version = BuildVersion()
 	st.Queued = s.queuedN
 	st.Draining = s.draining
 	j := s.running
@@ -415,11 +430,28 @@ func (s *Server) execute(j *job) {
 	if j.spec.Faults != nil {
 		core.SetFaultDefault(j.spec.Faults)
 	}
+	var profDir string
+	if s.cfg.Profile {
+		dir, err := os.MkdirTemp("", "memnetd-prof-")
+		if err != nil {
+			// Degrade to an unprofiled run; the result is identical anyway.
+			s.lg.Error("profile dir creation failed", "job", j.key, "err", err)
+		} else {
+			profDir = dir
+			core.SetProfDefault(dir)
+		}
+	}
 	start := time.Now()
 	out, err := s.cfg.Runner(j.spec)
 	elapsed := time.Since(start)
 	core.SetFaultDefault(nil)
 	core.SetProgressDefault(nil)
+	var profiles []json.RawMessage
+	if profDir != "" {
+		core.SetProfDefault("")
+		profiles = s.collectProfiles(j, profDir)
+		os.RemoveAll(profDir)
+	}
 	s.met.runSeconds.Observe(elapsed.Seconds())
 
 	s.mu.Lock()
@@ -435,6 +467,7 @@ func (s *Server) execute(j *job) {
 	} else {
 		j.state = StateDone
 		j.result = out
+		j.profiles = profiles
 		s.met.jobsDone.Inc()
 		s.lg.Info("job done", "job", j.key, "experiment", j.spec.Experiment,
 			"wall_seconds", elapsed.Seconds(), "bytes", len(out))
@@ -448,6 +481,31 @@ func (s *Server) execute(j *job) {
 	}
 	j.publishLocked(terminalLine(j))
 	close(j.done)
+}
+
+// collectProfiles reads the per-run profile files a job's sweep wrote
+// into its temporary directory. Glob order sorts by the sequence prefix,
+// so profiles come back in run-start order.
+func (s *Server) collectProfiles(j *job, dir string) []json.RawMessage {
+	files, err := filepath.Glob(filepath.Join(dir, "*.profile.json"))
+	if err != nil {
+		s.lg.Error("profile glob failed", "job", j.key, "err", err)
+		return nil
+	}
+	var out []json.RawMessage
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			s.lg.Error("profile read failed", "job", j.key, "file", file, "err", err)
+			continue
+		}
+		if !json.Valid(data) {
+			s.lg.Error("profile is not valid JSON", "job", j.key, "file", file)
+			continue
+		}
+		out = append(out, json.RawMessage(data))
+	}
+	return out
 }
 
 // publishProgress marshals one progress event onto the job's stream and

@@ -1,0 +1,53 @@
+package serve
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// Version describes the running server build, read once from the binary's
+// embedded build info: the module version (set for tagged module builds,
+// "(devel)" otherwise), the Go toolchain, and the VCS state stamped by
+// `go build` when building from a checkout.
+type Version struct {
+	Module    string `json:"module"`
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	VCSRef    string `json:"vcs_ref,omitempty"`
+	VCSTime   string `json:"vcs_time,omitempty"`
+	// Modified reports an unclean working tree at build time: the ref
+	// alone does not identify the code actually running.
+	Modified bool `json:"vcs_modified,omitempty"`
+}
+
+var (
+	versionOnce sync.Once
+	versionInfo Version
+)
+
+// BuildVersion returns the build description of the current binary. The
+// zero-ish fallback ("unknown") appears only in binaries built without
+// module support (e.g. straight `go test` internals).
+func BuildVersion() Version {
+	versionOnce.Do(func() {
+		versionInfo = Version{Module: "unknown", Version: "unknown", GoVersion: "unknown"}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		versionInfo.Module = bi.Main.Path
+		versionInfo.Version = bi.Main.Version
+		versionInfo.GoVersion = bi.GoVersion
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				versionInfo.VCSRef = s.Value
+			case "vcs.time":
+				versionInfo.VCSTime = s.Value
+			case "vcs.modified":
+				versionInfo.Modified = s.Value == "true"
+			}
+		}
+	})
+	return versionInfo
+}

@@ -1,0 +1,48 @@
+package serve_test
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"memnet/internal/serve"
+)
+
+// TestVersionEndpoint checks /v1/version and the version block in
+// /v1/stats: both report the embedded build info, and the Go toolchain
+// version is always present (the VCS ref only exists when built from a
+// checkout).
+func TestVersionEndpoint(t *testing.T) {
+	runner, _ := countingRunner(nil, nil)
+	s := newServer(t, serve.Config{Runner: runner})
+	defer s.Shutdown(ctxT(t))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v serve.Version
+	if err := decodeJSON(resp, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.GoVersion == "" || v.GoVersion == "unknown" {
+		t.Fatalf("version endpoint reported no Go version: %+v", v)
+	}
+	if v.Module == "" {
+		t.Fatalf("version endpoint reported no module: %+v", v)
+	}
+
+	sresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st serve.Stats
+	if err := decodeJSON(sresp, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Version != v {
+		t.Fatalf("stats version %+v != version endpoint %+v", st.Version, v)
+	}
+}

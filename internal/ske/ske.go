@@ -26,6 +26,7 @@ import (
 	"memnet/internal/audit"
 	"memnet/internal/gpu"
 	"memnet/internal/obs"
+	"memnet/internal/prof"
 	"memnet/internal/sim"
 	"memnet/internal/stats"
 )
@@ -138,6 +139,11 @@ type Runtime struct {
 	chunkAt   []sim.Time
 	chunkCTAs []int
 
+	// kprof is the attached compute-side profiler (nil = off); the
+	// runtime contributes per-kernel launch counts, page-table sync
+	// overhead, and launch-to-completion spans.
+	kprof *prof.KernProf
+
 	Stats Stats
 }
 
@@ -213,6 +219,11 @@ func (r *Runtime) Launch(kernel gpu.Kernel, onDone func()) {
 	r.Stats.Kernels.Inc()
 	r.kernel = kernel
 	r.onDone = onDone
+	if r.kprof != nil {
+		sp := r.kprof.Span(kernel.Name())
+		sp.Launches++
+		sp.SyncPS += int64(r.cfg.PageTableSync)
+	}
 	parts := Assign(r.cfg.Policy, kernel.NumCTAs(), len(live))
 	if r.aud != nil {
 		r.auditAssign(parts, kernel.NumCTAs(), len(live))
@@ -294,6 +305,9 @@ func (r *Runtime) maybeFinish() {
 	if r.remaining == 0 && r.onDone != nil {
 		if r.trace.Enabled() {
 			r.trace.Span(r.kernel.Name(), r.launchAt, r.eng.Now())
+		}
+		if r.kprof != nil {
+			r.kprof.Span(r.kernel.Name()).SpanPS += int64(r.eng.Now() - r.launchAt)
 		}
 		done := r.onDone
 		r.onDone = nil
@@ -439,6 +453,18 @@ func (r *Runtime) AttachTracer(t *obs.Tracer) {
 	}
 	r.chunkAt = make([]sim.Time, len(r.gpus))
 	r.chunkCTAs = make([]int, len(r.gpus))
+}
+
+// AttachProf attaches the compute-side profiler to the runtime and every
+// physical GPU. Strictly passive; nil leaves everything inert.
+func (r *Runtime) AttachProf(kp *prof.KernProf) {
+	if kp == nil {
+		return
+	}
+	r.kprof = kp
+	for _, g := range r.gpus {
+		g.AttachProf(kp)
+	}
 }
 
 // noteChunk marks the start of a CTA chunk handed to GPU g.
