@@ -21,6 +21,13 @@
 //	curl -sN localhost:8844/v1/jobs/<id>/events
 //	curl -sS localhost:8844/v1/jobs/<id>/result
 //	curl -sS localhost:8844/v1/jobs/<id>/profile   # with -profile
+//	curl -sS -X DELETE localhost:8844/v1/jobs/<id> # cancel (cooperative)
+//
+// With -cache-dir set the server also keeps a durable job journal under
+// <cache-dir>/journal and recovers queued/interrupted jobs after a crash
+// or kill -9 (disable with -journal=false). -max-run caps any one job's
+// wall-clock run time; -max-queue-delay sheds submissions with 503 +
+// Retry-After once the estimated wait exceeds the bound.
 //
 // Watch it work:
 //
@@ -65,6 +72,9 @@ func main() {
 	auditFlag := flag.Bool("audit", false, "check conservation invariants in every served run (results are byte-identical either way)")
 	profileFlag := flag.Bool("profile", false, "collect a latency-attribution profile per run, served at /v1/jobs/{id}/profile (results are byte-identical either way)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Minute, "max wall-clock time to wait for the in-flight job at shutdown")
+	journalFlag := flag.Bool("journal", true, "with -cache-dir: keep a durable job journal and recover queued/interrupted jobs after a crash")
+	maxQueueDelay := flag.Duration("max-queue-delay", 0, "shed submissions with 503 + Retry-After once the estimated queue wait exceeds this (0 = disabled)")
+	maxRun := flag.Duration("max-run", 0, "cancel any job running longer than this wall-clock time (0 = no ceiling)")
 	flag.Parse()
 	lg := telemetry.NewLogger(os.Stderr)
 	fatal := func(msg string, args ...any) {
@@ -87,11 +97,14 @@ func main() {
 
 	reg := telemetry.NewRegistry()
 	srv, err := serve.New(serve.Config{
-		QueueCap: *queueCap,
-		CacheDir: *cacheDir,
-		Logger:   lg,
-		Metrics:  reg,
-		Profile:  *profileFlag,
+		QueueCap:      *queueCap,
+		CacheDir:      *cacheDir,
+		NoJournal:     !*journalFlag,
+		MaxQueueDelay: *maxQueueDelay,
+		MaxRunTime:    *maxRun,
+		Logger:        lg,
+		Metrics:       reg,
+		Profile:       *profileFlag,
 	})
 	if err != nil {
 		fatal("startup failed", "err", err)
@@ -107,7 +120,9 @@ func main() {
 		go func() { errCh <- adminSrv.ListenAndServe() }()
 	}
 	lg.Info("listening", "addr", *addr, "admin", orNone(*adminAddr),
-		"queue_cap", *queueCap, "par", par.Parallelism(), "cache", orMemory(*cacheDir))
+		"queue_cap", *queueCap, "par", par.Parallelism(), "cache", orMemory(*cacheDir),
+		"journal", *cacheDir != "" && *journalFlag,
+		"max_queue_delay", orUnbounded(*maxQueueDelay), "max_run", orUnbounded(*maxRun))
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
@@ -178,4 +193,11 @@ func orNone(addr string) string {
 		return "disabled"
 	}
 	return addr
+}
+
+func orUnbounded(d time.Duration) string {
+	if d == 0 {
+		return "unbounded"
+	}
+	return d.String()
 }

@@ -18,19 +18,62 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"memnet/internal/serve"
 	"memnet/internal/telemetry"
 )
+
+// Transient-failure retry policy: a restarting memnetd (a drain, a crash
+// recovery) refuses connections for a moment, and a monitor that dies the
+// instant its target blips is useless during exactly the events it should
+// be watching. Retries back off exponentially from retryBase, capped at
+// retryCeiling, giving up after retryMax failed attempts.
+const (
+	retryMax     = 5
+	retryBase    = 200 * time.Millisecond
+	retryCeiling = 3 * time.Second
+)
+
+// transientErr reports whether a scrape failure looks momentary — the
+// connection was refused or torn down, the shape of a server mid-restart
+// — rather than a bad address or a broken response, which retrying will
+// not fix.
+func transientErr(err error) bool {
+	return errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, io.EOF)
+}
+
+// scrape fetches both endpoints, retrying with bounded exponential
+// backoff while every endpoint fails transiently. sleep is injected so
+// tests can count and clamp the waits.
+func scrape(c *http.Client, base string, sleep func(time.Duration)) (*serve.Stats, error, []telemetry.Sample, error) {
+	st, stErr := fetchStats(c, base)
+	samples, mErr := fetchMetrics(c, base)
+	for attempt := 0; stErr != nil && mErr != nil && transientErr(stErr) && attempt < retryMax; attempt++ {
+		d := retryBase << attempt
+		if d > retryCeiling {
+			d = retryCeiling
+		}
+		sleep(d)
+		st, stErr = fetchStats(c, base)
+		samples, mErr = fetchMetrics(c, base)
+	}
+	return st, stErr, samples, mErr
+}
 
 func main() {
 	addr := flag.String("addr", "localhost:8844", "memnetd address (host:port)")
@@ -46,8 +89,10 @@ func main() {
 		if i > 0 {
 			time.Sleep(*interval)
 		}
-		st, stErr := fetchStats(client, base)
-		samples, mErr := fetchMetrics(client, base)
+		st, stErr, samples, mErr := scrape(client, base, func(d time.Duration) {
+			fmt.Fprintf(os.Stderr, "memnetstat: %s unreachable; retrying in %s\n", *addr, d)
+			time.Sleep(d)
+		})
 		if stErr != nil && mErr != nil {
 			fmt.Fprintf(os.Stderr, "memnetstat: %s unreachable: %v\n", *addr, stErr)
 			os.Exit(1)
@@ -103,9 +148,9 @@ func printLine(st *serve.Stats, stErr error, samples []telemetry.Sample) {
 	if st.Draining {
 		state = "draining"
 	}
-	line := fmt.Sprintf("%s  %-8s q=%d run=%d done=%d hits=%d(disk %d) dedup=%d rej=%d fail=%d",
+	line := fmt.Sprintf("%s  %-8s q=%d run=%d done=%d hits=%d(disk %d) dedup=%d rej=%d fail=%d cxl=%d",
 		now, state, st.Queued, st.Running, st.SimulationsRun,
-		st.CacheHits, st.CacheHitsDisk, st.Deduped, st.Rejected, st.Failed)
+		st.CacheHits, st.CacheHitsDisk, st.Deduped, st.Rejected, st.Failed, st.Cancelled)
 	if p := st.Progress; p != nil {
 		line += fmt.Sprintf("  [%s %s/s ev=%d quiet=%.1fs %s]",
 			p.Experiment, simRate(p.PsPerSecond), p.Events, p.SinceLastEvent, short(p.Job))
@@ -127,6 +172,8 @@ func printTable(st *serve.Stats, stErr error, samples []telemetry.Sample, mErr e
 		fmt.Printf("state: queued=%d running=%d draining=%v\n", st.Queued, st.Running, st.Draining)
 		fmt.Printf("totals: done=%d hits=%d disk_hits=%d deduped=%d rejected=%d failed=%d\n",
 			st.SimulationsRun, st.CacheHits, st.CacheHitsDisk, st.Deduped, st.Rejected, st.Failed)
+		fmt.Printf("robust: cancelled=%d shed=%d recovered=%d cache_corruptions=%d\n",
+			st.Cancelled, st.Shed, st.Recovered, st.Corruptions)
 		if p := st.Progress; p != nil {
 			fmt.Printf("job: %s (%s)\n", p.Experiment, p.Job)
 			fmt.Printf("  sim time   %s  (%s/s over %.1fs wall)\n",

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestTransientErr pins the retry trigger: connection-level failures are
+// transient (the server may be mid-restart), everything else is not.
+func TestTransientErr(t *testing.T) {
+	// A real refused connection, wrapped the way net/http returns it.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	_, refErr := (&http.Client{Timeout: time.Second}).Get("http://" + addr + "/v1/stats")
+	if refErr == nil {
+		t.Skip("something answered on a closed port")
+	}
+	if !transientErr(refErr) {
+		t.Fatalf("connection refused not classified transient: %v", refErr)
+	}
+	if transientErr(errors.New("decode /v1/stats: bad json")) {
+		t.Fatal("a permanent error classified transient")
+	}
+	if transientErr(nil) {
+		t.Fatal("nil error classified transient")
+	}
+}
+
+// TestScrapeBacksOffAndGivesUp: with nothing listening, scrape retries
+// exactly retryMax times with exponentially growing, capped waits, then
+// reports the failure instead of spinning forever.
+func TestScrapeBacksOffAndGivesUp(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + l.Addr().String()
+	l.Close()
+
+	var waits []time.Duration
+	_, stErr, _, mErr := scrape(&http.Client{Timeout: time.Second}, base, func(d time.Duration) {
+		waits = append(waits, d)
+	})
+	if stErr == nil || mErr == nil {
+		t.Fatalf("scrape of a dead address succeeded: %v / %v", stErr, mErr)
+	}
+	if len(waits) != retryMax {
+		t.Fatalf("retried %d times, want %d", len(waits), retryMax)
+	}
+	for i, d := range waits {
+		want := retryBase << i
+		if want > retryCeiling {
+			want = retryCeiling
+		}
+		if d != want {
+			t.Fatalf("wait %d = %s, want %s", i, d, want)
+		}
+	}
+}
+
+// TestScrapeRecoversAfterRestart: the target comes back during the
+// backoff (a drain/restart completing) and the scrape succeeds without
+// exhausting its retries.
+func TestScrapeRecoversAfterRestart(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, `{"queued":1}`)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "memnetd_queue_depth 1")
+	})
+
+	// Reserve a port, leave it dead, and resurrect it on the second retry.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	attempts := 0
+	var ts *httptest.Server
+	t.Cleanup(func() {
+		if ts != nil {
+			ts.Close()
+		}
+	})
+	st, stErr, samples, mErr := scrape(&http.Client{Timeout: time.Second}, "http://"+addr, func(time.Duration) {
+		attempts++
+		if attempts != 2 || ts != nil {
+			return
+		}
+		l2, err := net.Listen("tcp", addr)
+		if err != nil {
+			t.Skipf("could not rebind %s: %v", addr, err)
+		}
+		ts = &httptest.Server{Listener: l2, Config: &http.Server{Handler: mux}}
+		ts.Start()
+	})
+	if stErr != nil || mErr != nil {
+		t.Fatalf("scrape did not recover: %v / %v", stErr, mErr)
+	}
+	if st.Queued != 1 || len(samples) != 1 {
+		t.Fatalf("recovered scrape returned %+v / %v", st, samples)
+	}
+	if attempts >= retryMax {
+		t.Fatalf("took %d retries, want recovery before exhaustion", attempts)
+	}
+}

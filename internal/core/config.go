@@ -259,6 +259,29 @@ func (c *Config) progressFunc() obs.ProgressFunc {
 	return nil
 }
 
+// stopDefault is a process-wide cooperative stop signal applied to configs
+// whose Stop field is nil (experiment sweeps build their configs
+// internally, so serving layers route their per-job canceller through
+// here). Atomic because sweeps build systems from many goroutines.
+var stopDefault atomic.Pointer[sim.Stop]
+
+// SetStopDefault installs the process-wide stop signal used by configs
+// that leave Stop nil; nil clears it. Like the fault and progress defaults
+// it is process-global, so a serving layer that runs jobs one at a time
+// installs the current job's canceller before the run and clears it after.
+// Tripping the signal tears down every run that resolved it: each phase
+// loop observes the latch between events and unwinds with ErrStopped.
+func SetStopDefault(s *sim.Stop) { stopDefault.Store(s) }
+
+// stopSignal resolves the stop signal for this config: explicit first,
+// then the process-wide default. May be nil (never stopped).
+func (c *Config) stopSignal() *sim.Stop {
+	if c.Stop != nil {
+		return c.Stop
+	}
+	return stopDefault.Load()
+}
+
 // faultDefault is a process-wide fault schedule applied to configs whose
 // Faults field is nil (experiment sweeps build their configs internally,
 // so the CLIs route their -faults flag through here). Atomic because
@@ -321,6 +344,14 @@ type Config struct {
 	// byte-identical with a sink attached or not. Nil falls back to the
 	// process-wide default (SetProgressDefault).
 	Progress obs.ProgressFunc
+
+	// Stop, when non-nil, is a cooperative cancellation latch: the phase
+	// loop polls it between engine events and aborts the run with
+	// ErrStopped once it trips (a cancel API, a deadline timer). Strictly
+	// passive while untripped — the poll is one atomic load, schedules no
+	// events, and results are byte-identical with a latch attached or not.
+	// Nil falls back to the process-wide default (SetStopDefault).
+	Stop *sim.Stop
 
 	// Faults is an explicit fault-injection schedule; nil falls back to
 	// the process-wide default (SetFaultDefault) and then to FaultRates.

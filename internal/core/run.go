@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"sort"
@@ -51,6 +52,12 @@ type Result struct {
 	CTAsStolen    int64
 	HostStallPS   int64
 }
+
+// ErrStopped marks a run torn down by a cooperative stop signal (a cancel
+// API or an expired deadline; see Config.Stop). Callers distinguish it
+// from simulation failures with errors.Is — the exp fan-out wraps run
+// errors with %w, so the sentinel survives to a serving layer.
+var ErrStopped = errors.New("run stopped")
 
 // Run builds the system for cfg and executes the workload end to end.
 func Run(cfg Config) (*Result, error) {
@@ -241,16 +248,24 @@ func (s *System) runPhase(name string, start func(done func())) (sim.Time, error
 	lastProg := int64(-1)
 	lastProgAt := t0
 	livelocked := false
+	stopped := false
 	// The condition runs between events; the sampler schedules nothing and
 	// the watchdog only reads counters, so the event sequence matches the
 	// plain loop exactly. Time advances only inside steps, so a single
 	// long event gap (e.g. an analytic bulk memcpy) can never trip the
-	// watchdog — only real event churn without progress can.
+	// watchdog — only real event churn without progress can. The stop poll
+	// is one nil-safe atomic load, so an attached-but-untripped canceller
+	// is as invisible as no canceller at all; a tripped one halts the run
+	// before the next event, well inside one watchdog interval.
 	s.eng.RunWhile(func() bool {
 		if s.samp != nil {
 			s.samp.Advance(s.eng.Now())
 		}
 		if finished {
+			return false
+		}
+		if s.stop.Tripped() {
+			stopped = true
 			return false
 		}
 		if s.fatal == nil {
@@ -272,6 +287,13 @@ func (s *System) runPhase(name string, start func(done func())) (sim.Time, error
 	})
 	if s.fatal != nil {
 		return 0, fmt.Errorf("core: phase %q aborted at t=%d ps: %w", name, s.eng.Now(), s.fatal)
+	}
+	if stopped {
+		reason := s.stop.Reason()
+		if reason == "" {
+			reason = "stop signal tripped"
+		}
+		return 0, fmt.Errorf("core: phase %q stopped at t=%d ps (%s): %w", name, s.eng.Now(), reason, ErrStopped)
 	}
 	if !finished {
 		var err error

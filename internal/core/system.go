@@ -71,6 +71,11 @@ type System struct {
 	prog     obs.ProgressFunc
 	runLabel string
 
+	// stop is the resolved cooperative stop signal (nil when none): the
+	// phase loop polls it between events and unwinds with ErrStopped once
+	// it trips. Passive while untripped, like the obs and prof layers.
+	stop *sim.Stop
+
 	// fatal records the first unrecoverable fault-injection outcome (work
 	// lost with nowhere to re-queue it); the phase runner aborts on it.
 	fatal error
@@ -198,6 +203,7 @@ func NewSystem(cfg Config) (*System, error) {
 		s.registerAudits()
 	}
 	s.prog = cfg.progressFunc()
+	s.stop = cfg.stopSignal()
 	s.runLabel = w.Abbr + "/" + cfg.Arch.String()
 	s.cfg.resolveObs(w.Abbr)
 	s.cfg.resolveProf(w.Abbr)

@@ -1,0 +1,41 @@
+package exp
+
+import (
+	"errors"
+	"testing"
+
+	"memnet/internal/core"
+	"memnet/internal/sim"
+)
+
+// TestSweepCancellation checks that the process-wide stop latch a serving
+// layer installs tears down a whole experiment fan-out: every run polls
+// the latch between engine events, the pool surfaces the lowest-indexed
+// run's error, and the %w wrapping keeps core.ErrStopped visible through
+// errors.Is at the registry boundary.
+func TestSweepCancellation(t *testing.T) {
+	stop := &sim.Stop{}
+	stop.Trip("cancelled by test")
+	core.SetStopDefault(stop)
+	defer core.SetStopDefault(nil)
+
+	for _, name := range []string{"fig7", "fig14"} {
+		e, ok := Find(name)
+		if !ok {
+			t.Fatalf("experiment %q missing from the registry", name)
+		}
+		p := DefaultParams()
+		p.Scale = 0.05
+		p.Workloads = []string{"BP"}
+		if _, err := e.Run(p); !errors.Is(err, core.ErrStopped) {
+			t.Fatalf("%s under a tripped latch returned %v, want core.ErrStopped", name, err)
+		}
+	}
+
+	// Clearing the default restores normal sweeps.
+	core.SetStopDefault(nil)
+	e, _ := Find("table2")
+	if _, err := e.Run(Params{}); err != nil {
+		t.Fatalf("table2 after clearing the latch failed: %v", err)
+	}
+}

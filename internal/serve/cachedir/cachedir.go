@@ -1,16 +1,26 @@
 // Package cachedir is a content-addressed blob store on disk: the result
 // cache behind memnetd's -cache-dir flag. Keys are lowercase hex SHA-256
 // digests of the canonical job spec; values are the rendered experiment
-// results. Writes are atomic (temp file + rename), so a crashed or killed
-// server never leaves a truncated result that a later process would serve
-// as authoritative.
+// results. Writes are atomic (temp file + rename) and durable (the file
+// and its parent directory are fsync'd), so a crashed or killed server —
+// or a power loss right after the rename — never leaves a truncated or
+// unlinked result that a later process would serve as authoritative.
+//
+// Reads are verified: every blob is framed with a header recording the
+// SHA-256 of its body, and Get recomputes and compares the digest before
+// returning anything. A blob that fails verification — a bit flip, a
+// truncation that survived the crash-consistency guarantees, a stray file
+// — is never served: it is moved into the store's quarantine/ directory,
+// counted, and reported as a miss so the caller recomputes the result.
 package cachedir
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"os"
 	"path/filepath"
-	"strings"
+	"sync/atomic"
 
 	"memnet/internal/telemetry"
 )
@@ -18,28 +28,45 @@ import (
 // keyLen is the length of a lowercase hex SHA-256 digest.
 const keyLen = 64
 
+// headerMagic opens every blob file; the body's hex digest and a newline
+// follow it. Verification lives in the file rather than in the file name
+// because the key hashes the *inputs* (the job spec), not the output.
+const headerMagic = "memnet-cache/v1 "
+
+// headerLen is the full framing length: magic + digest + newline.
+const headerLen = len(headerMagic) + keyLen + 1
+
+// quarantineDir is the subdirectory corrupt blobs are moved into.
+const quarantineDir = "quarantine"
+
 // Store is a directory of content-addressed blobs. Methods are safe for
 // concurrent use by multiple goroutines (atomic rename publishes a blob);
 // concurrent writers of the same key converge on identical content, since
 // keys are hashes of the inputs that deterministically produced the value.
 type Store struct {
-	dir string
-	met Counters
+	dir         string
+	met         Counters
+	corruptions atomic.Int64
 }
 
 // Counters are the store's optional telemetry hooks. Nil counters no-op
 // (the telemetry package's nil-receiver contract), so an uninstrumented
 // store pays nothing.
 type Counters struct {
-	Hits   *telemetry.Counter // Get found the blob
-	Misses *telemetry.Counter // Get found nothing
-	Writes *telemetry.Counter // Put persisted a blob
-	Errors *telemetry.Counter // any Get/Put I/O or key failure
+	Hits        *telemetry.Counter // Get found and verified the blob
+	Misses      *telemetry.Counter // Get found nothing
+	Writes      *telemetry.Counter // Put persisted a blob
+	Errors      *telemetry.Counter // any Get/Put I/O, fsync or key failure
+	Corruptions *telemetry.Counter // Get quarantined a blob that failed verification
 }
 
 // Instrument attaches telemetry counters to the store. Call before
 // serving; the store never mutates the counters' registration.
 func (s *Store) Instrument(c Counters) { s.met = c }
+
+// Corruptions returns how many blobs this store has quarantined since it
+// was opened (the process-local view behind the cache_corruptions stat).
+func (s *Store) Corruptions() int64 { return s.corruptions.Load() }
 
 // Open ensures dir exists and is writable and returns the store. The
 // writability probe fails fast at startup instead of on the first Put
@@ -60,6 +87,10 @@ func Open(dir string) (*Store, error) {
 
 // Dir returns the store's directory.
 func (s *Store) Dir() string { return s.dir }
+
+// QuarantinePath returns the directory corrupt blobs are moved into (it
+// may not exist until the first corruption).
+func (s *Store) QuarantinePath() string { return filepath.Join(s.dir, quarantineDir) }
 
 // checkKey rejects anything but a lowercase hex digest. Keys become file
 // names, so this is also the path-traversal guard: "../../etc/passwd" or
@@ -83,13 +114,44 @@ func (s *Store) path(key string) string {
 	return filepath.Join(s.dir, key[:2], key)
 }
 
-// Get returns the blob stored under key, or ok=false if absent.
+// frame returns the stored representation of data: the verification
+// header followed by the body.
+func frame(data []byte) []byte {
+	sum := sha256.Sum256(data)
+	out := make([]byte, 0, headerLen+len(data))
+	out = append(out, headerMagic...)
+	out = hex.AppendEncode(out, sum[:])
+	out = append(out, '\n')
+	return append(out, data...)
+}
+
+// unframe verifies raw against its header and returns the body, or an
+// error describing why the blob cannot be trusted.
+func unframe(raw []byte) ([]byte, error) {
+	if len(raw) < headerLen || string(raw[:len(headerMagic)]) != headerMagic {
+		return nil, fmt.Errorf("missing %q header", headerMagic)
+	}
+	if raw[headerLen-1] != '\n' {
+		return nil, fmt.Errorf("malformed header")
+	}
+	want := string(raw[len(headerMagic) : headerLen-1])
+	body := raw[headerLen:]
+	sum := sha256.Sum256(body)
+	if got := hex.EncodeToString(sum[:]); got != want {
+		return nil, fmt.Errorf("digest mismatch: header %s, body %s", want, got)
+	}
+	return body, nil
+}
+
+// Get returns the blob stored under key, or ok=false if absent. A blob
+// that fails verification is quarantined and reported as a miss — a
+// corrupt entry is never served, the caller recomputes it.
 func (s *Store) Get(key string) (data []byte, ok bool, err error) {
 	if err := checkKey(key); err != nil {
 		s.met.Errors.Inc()
 		return nil, false, err
 	}
-	data, err = os.ReadFile(s.path(key))
+	raw, err := os.ReadFile(s.path(key))
 	if os.IsNotExist(err) {
 		s.met.Misses.Inc()
 		return nil, false, nil
@@ -98,27 +160,59 @@ func (s *Store) Get(key string) (data []byte, ok bool, err error) {
 		s.met.Errors.Inc()
 		return nil, false, fmt.Errorf("cachedir: %w", err)
 	}
+	body, verr := unframe(raw)
+	if verr != nil {
+		s.quarantine(key)
+		s.met.Misses.Inc()
+		return nil, false, nil
+	}
 	s.met.Hits.Inc()
-	return data, true, nil
+	return body, true, nil
 }
 
-// Put stores data under key atomically: it lands complete or not at all.
+// quarantine moves a corrupt blob out of the served namespace so it can
+// be inspected but never returned again; the slot becomes a miss and the
+// next Put rewrites it. A second corruption of the same key overwrites
+// the quarantined copy — the freshest evidence wins.
+func (s *Store) quarantine(key string) {
+	s.corruptions.Add(1)
+	s.met.Corruptions.Inc()
+	qdir := s.QuarantinePath()
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		s.met.Errors.Inc()
+		os.Remove(s.path(key)) // still never serve it again
+		return
+	}
+	if err := os.Rename(s.path(key), filepath.Join(qdir, key)); err != nil {
+		s.met.Errors.Inc()
+		os.Remove(s.path(key))
+	}
+}
+
+// Put stores data under key atomically and durably: the framed blob is
+// fsync'd before the rename publishes it, and the parent directory is
+// fsync'd after, so a committed entry survives power loss — not just a
+// process crash.
 func (s *Store) Put(key string, data []byte) error {
 	if err := checkKey(key); err != nil {
 		s.met.Errors.Inc()
 		return err
 	}
 	dst := s.path(key)
-	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+	dir := filepath.Dir(dst)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		s.met.Errors.Inc()
 		return fmt.Errorf("cachedir: %w", err)
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(dst), ".tmp-*")
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
 	if err != nil {
 		s.met.Errors.Inc()
 		return fmt.Errorf("cachedir: %w", err)
 	}
-	_, werr := tmp.Write(data)
+	_, werr := tmp.Write(frame(data))
+	if serr := tmp.Sync(); werr == nil {
+		werr = serr
+	}
 	if cerr := tmp.Close(); werr == nil {
 		werr = cerr
 	}
@@ -130,24 +224,68 @@ func (s *Store) Put(key string, data []byte) error {
 		s.met.Errors.Inc()
 		return fmt.Errorf("cachedir: %w", werr)
 	}
+	if err := syncDir(dir); err != nil {
+		// The blob is visible and verified; only its durability across a
+		// power loss is in doubt. Surface that through the error counter
+		// and the returned error, but leave the entry in place.
+		s.met.Errors.Inc()
+		return fmt.Errorf("cachedir: fsync %s: %w", dir, err)
+	}
 	s.met.Writes.Inc()
 	return nil
 }
 
+// syncDir fsyncs a directory so a just-renamed entry's name is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	if cerr := d.Close(); serr == nil {
+		serr = cerr
+	}
+	return serr
+}
+
+// isFanout reports whether name is a two-hex-character fan-out directory
+// (the only place blobs live).
+func isFanout(name string) bool {
+	if len(name) != 2 {
+		return false
+	}
+	for i := 0; i < 2; i++ {
+		c := name[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
 // Len counts the stored blobs (a stats/debugging helper, not a hot path).
+// Only the two-hex fan-out directories are counted: quarantined blobs and
+// any sibling state another layer keeps under the store's root (e.g. the
+// serve journal) are not cache entries.
 func (s *Store) Len() (int, error) {
 	n := 0
-	err := filepath.WalkDir(s.dir, func(path string, d os.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if !d.IsDir() && !strings.HasPrefix(d.Name(), ".") {
-			n++
-		}
-		return nil
-	})
+	entries, err := os.ReadDir(s.dir)
 	if err != nil {
 		return 0, fmt.Errorf("cachedir: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() || !isFanout(e.Name()) {
+			continue
+		}
+		blobs, err := os.ReadDir(filepath.Join(s.dir, e.Name()))
+		if err != nil {
+			return 0, fmt.Errorf("cachedir: %w", err)
+		}
+		for _, b := range blobs {
+			if !b.IsDir() && b.Name()[0] != '.' {
+				n++
+			}
+		}
 	}
 	return n, nil
 }

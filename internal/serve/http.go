@@ -20,6 +20,9 @@ const maxBodyBytes = 1 << 20
 const (
 	retryAfterQueueFull = 5
 	retryAfterDraining  = 30
+	// maxRetryAfter caps the Retry-After a shed submission reports, so a
+	// pathological delay estimate never tells a client to go away for hours.
+	maxRetryAfter = 300
 )
 
 // Handler returns the server's HTTP handler.
@@ -43,6 +46,7 @@ func (s *Server) buildMux() {
 	mux.HandleFunc("GET /v1/version", s.handleVersion)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/profile", s.handleProfile)
@@ -82,12 +86,21 @@ func (s *Server) httpError(w http.ResponseWriter, status int, err error) {
 	s.writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
-// writeSubmitError maps a submission error to an HTTP response. The two
+// writeSubmitError maps a submission error to an HTTP response. The
 // backpressure rejections are 503 with a Retry-After header so
-// well-behaved clients back off instead of hammering the queue;
+// well-behaved clients back off instead of hammering the queue — a shed
+// submission gets the actual delay estimate, rounded up and capped;
 // everything else is the caller's fault (400).
 func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
+	var ov *OverloadError
 	switch {
+	case errors.As(err, &ov):
+		retry := int(ov.Estimate.Seconds()) + 1
+		if retry > maxRetryAfter {
+			retry = maxRetryAfter
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		s.httpError(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterQueueFull))
 		s.httpError(w, http.StatusServiceUnavailable, err)
@@ -186,6 +199,10 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if j.errMsg != "" {
 		resp["error"] = j.errMsg
 	}
+	if j.recovered {
+		// Revived or re-queued by journal replay after a restart.
+		resp["recovered"] = true
+	}
 	s.mu.Unlock()
 	if running {
 		// The live wall-clock rates: how fast the job is actually moving.
@@ -208,6 +225,8 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprint(w, result)
 	case StateFailed:
 		s.httpError(w, http.StatusInternalServerError, fmt.Errorf("serve: job failed: %s", errMsg))
+	case StateCancelled:
+		s.httpError(w, http.StatusGone, fmt.Errorf("serve: job cancelled: %s", errMsg))
 	case StateAborted:
 		s.httpError(w, http.StatusGone, fmt.Errorf("serve: job aborted at shutdown"))
 	default:
@@ -238,6 +257,32 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeJSON(w, http.StatusOK, profiles)
+}
+
+// handleCancel is DELETE /v1/jobs/{id}: cooperative cancellation. A
+// queued job is terminal by the time the response is written (200); a
+// running job is told to stop and unwinds at the next engine-event
+// boundary (202 — poll status or the event stream for "cancelled").
+// Cancelling a job that already finished is a conflict (409).
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	state, err := s.Cancel(j.key, "cancelled via DELETE /v1/jobs")
+	if err != nil {
+		if errors.Is(err, ErrJobFinished) {
+			s.httpError(w, http.StatusConflict, fmt.Errorf("serve: job is %s; nothing to cancel", state))
+			return
+		}
+		s.httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	status := http.StatusOK
+	if state == StateRunning {
+		status = http.StatusAccepted
+	}
+	s.writeJSON(w, status, map[string]any{"id": j.key, "state": state})
 }
 
 // handleEvents streams the job's progress as JSON lines: the full replay

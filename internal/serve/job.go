@@ -5,12 +5,14 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"math"
 	"strings"
 	"sync"
 	"time"
 
 	"memnet/internal/exp"
 	"memnet/internal/fault"
+	"memnet/internal/sim"
 	"memnet/internal/telemetry"
 )
 
@@ -36,6 +38,15 @@ type JobSpec struct {
 	// Faults is an optional seeded fault-injection schedule applied to
 	// every run of the job (see internal/fault for the JSON shape).
 	Faults *fault.Schedule `json:"faults,omitempty"`
+
+	// MaxRunSeconds is the job's deadline: once it has been running this
+	// many wall-clock seconds the server cancels it cooperatively (the
+	// sweep unwinds at the next engine-event boundary). Zero means no
+	// per-job deadline; the server-wide Config.MaxRunTime still applies,
+	// and the tighter of the two wins. Like Client, it is not part of the
+	// cache key — the deadline changes when a run is abandoned, never what
+	// it computes.
+	MaxRunSeconds float64 `json:"max_run_seconds,omitempty"`
 
 	// Client identifies the submitter for queue fairness. It is not part
 	// of the cache key: identical work is identical regardless of who
@@ -67,6 +78,9 @@ func (s *JobSpec) Canonicalize() error {
 	}
 	if err := (exp.Params{Scale: s.Scale, Workloads: s.Workloads, GPUs: s.GPUs, DegLinks: s.DegLinks}).Validate(); err != nil {
 		return fmt.Errorf("serve: %w", err)
+	}
+	if s.MaxRunSeconds < 0 || math.IsNaN(s.MaxRunSeconds) || math.IsInf(s.MaxRunSeconds, 0) {
+		return fmt.Errorf("serve: max_run_seconds must be a non-negative finite number")
 	}
 
 	// Fill defaults, then zero what the experiment ignores.
@@ -122,11 +136,13 @@ func (s *JobSpec) Params() exp.Params {
 }
 
 // Key returns the spec's content address: the lowercase hex SHA-256 of
-// its canonical JSON encoding, Client excluded. Canonicalize must have
-// been called; identical work hashes identically by construction.
+// its canonical JSON encoding, Client and MaxRunSeconds excluded (neither
+// changes what the job computes). Canonicalize must have been called;
+// identical work hashes identically by construction.
 func (s *JobSpec) Key() string {
 	c := *s
 	c.Client = ""
+	c.MaxRunSeconds = 0
 	// encoding/json writes struct fields in declaration order and the
 	// fault schedule contains no maps, so the encoding is deterministic.
 	data, err := json.Marshal(&c)
@@ -140,11 +156,12 @@ func (s *JobSpec) Key() string {
 
 // Job states.
 const (
-	StateQueued  = "queued"
-	StateRunning = "running"
-	StateDone    = "done"
-	StateFailed  = "failed"
-	StateAborted = "aborted" // dropped from the queue at shutdown
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateAborted   = "aborted"   // dropped from the queue at shutdown
+	StateCancelled = "cancelled" // cancel API or deadline expiry
 )
 
 // maxJobEvents caps the progress-event replay buffer per job; a sweep
@@ -166,8 +183,17 @@ type job struct {
 	queuedAt time.Time
 	prog     *telemetry.Progress
 
+	// stop is the job's cooperative cancel latch. execute installs it as
+	// the process-wide default for the duration of the run (jobs run one
+	// at a time); DELETE /v1/jobs/{id} and deadline expiry trip it, and
+	// the sweep unwinds at the next engine-event boundary.
+	stop *sim.Stop
+	// recovered marks a job revived or re-queued by journal replay after
+	// a restart, so operators can tell a recovered result from a fresh one.
+	recovered bool
+
 	result string // rendered experiment text (terminal state "done")
-	errMsg string // terminal state "failed"
+	errMsg string // terminal states "failed" and "cancelled" (the reason)
 	// profiles holds one latency-attribution profile per run of the job
 	// (Config.Profile only; empty for cache-revived results).
 	profiles []json.RawMessage
@@ -183,6 +209,7 @@ func newJob(spec *JobSpec, key string) *job {
 		spec:     spec,
 		key:      key,
 		state:    StateQueued,
+		stop:     &sim.Stop{},
 		queuedAt: time.Now(),
 		prog:     telemetry.NewProgress(nil),
 		subs:     make(map[chan string]struct{}),

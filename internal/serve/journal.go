@@ -1,0 +1,252 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// The job journal is a durable append-only write-ahead log of job
+// lifecycle transitions, kept as JSON lines under the cache directory
+// (<cache-dir>/journal/wal.jsonl). Every record is fsync'd as it is
+// appended, so after a crash — including kill -9 mid-job — the journal
+// names every job that was queued or running, with its full canonical
+// spec. Restart recovery replays it: jobs whose result landed in the disk
+// cache are revived as done, everything else is re-queued in submission
+// order and runs again. Compaction rewrites the log down to the live jobs
+// (atomic temp + rename, like the cache blobs) so it never grows beyond
+// the queue it describes plus a bounded tail of terminal records.
+
+// Journal record types. Unknown types are skipped on replay (forward
+// compatibility); a record that does not parse ends the replay — the
+// valid prefix is what recovery trusts.
+const (
+	recSubmitted = "submitted" // job admitted to the queue; carries the spec
+	recStarted   = "started"   // dispatcher handed the job to the runner
+	recDone      = "done"      // terminal: result rendered (and cached)
+	recFailed    = "failed"    // terminal: simulation error
+	recCancelled = "cancelled" // terminal: cancel API or deadline expiry
+)
+
+// journalFile is the active WAL's name inside the journal directory.
+const journalFile = "wal.jsonl"
+
+// compactEvery bounds the appends between compactions.
+const compactEvery = 1024
+
+// maxJournalLine bounds one WAL line on replay. A submitted record embeds
+// the canonical spec, which the HTTP layer caps at maxBodyBytes; double
+// that covers the framing.
+const maxJournalLine = 2 * maxBodyBytes
+
+// journalRecord is one WAL line.
+type journalRecord struct {
+	Type string `json:"type"`
+	Job  string `json:"job"` // content-address key
+	// Spec rides only on submitted records: everything needed to re-queue
+	// the job after a restart, client attribution included.
+	Spec   *JobSpec `json:"spec,omitempty"`
+	Reason string   `json:"reason,omitempty"` // cancelled records
+}
+
+// journal owns the active WAL file. The server serializes access through
+// its own mutex; the journal's only concurrency concern is that append
+// and rewrite never interleave, which that guarantees.
+type journal struct {
+	dir     string
+	f       *os.File
+	appends int // records appended since the last rewrite
+}
+
+// openJournal ensures dir exists and opens the active WAL for appending.
+func openJournal(dir string) (*journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: journal: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, journalFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("serve: journal: %w", err)
+	}
+	return &journal{dir: dir, f: f}, nil
+}
+
+// path returns the active WAL file name.
+func (jl *journal) path() string { return filepath.Join(jl.dir, journalFile) }
+
+// append writes one record and fsyncs it. The fsync is the durability
+// point: once append returns nil, the transition survives kill -9 and
+// power loss.
+func (jl *journal) append(rec journalRecord) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		// Records contain only marshalable fields; this is unreachable.
+		return fmt.Errorf("serve: journal: marshal: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := jl.f.Write(line); err != nil {
+		return fmt.Errorf("serve: journal: %w", err)
+	}
+	if err := jl.f.Sync(); err != nil {
+		return fmt.Errorf("serve: journal: fsync: %w", err)
+	}
+	jl.appends++
+	return nil
+}
+
+// rewrite replaces the WAL with exactly recs (the live jobs), atomically:
+// temp file, fsync, rename, directory fsync — the same discipline as the
+// cache blobs. A crash mid-rewrite leaves the old WAL intact.
+func (jl *journal) rewrite(recs []journalRecord) error {
+	tmp, err := os.CreateTemp(jl.dir, ".wal-*")
+	if err != nil {
+		return fmt.Errorf("serve: journal: %w", err)
+	}
+	var werr error
+	for _, rec := range recs {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			werr = err
+			break
+		}
+		if _, err := tmp.Write(append(line, '\n')); err != nil {
+			werr = err
+			break
+		}
+	}
+	if serr := tmp.Sync(); werr == nil {
+		werr = serr
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), jl.path())
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: journal: rewrite: %w", werr)
+	}
+	if d, err := os.Open(jl.dir); err == nil {
+		if serr := d.Sync(); werr == nil {
+			werr = serr
+		}
+		d.Close()
+	}
+	// Swap the append handle onto the new file.
+	old := jl.f
+	f, err := os.OpenFile(jl.path(), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("serve: journal: reopen: %w", err)
+	}
+	jl.f = f
+	jl.appends = 0
+	old.Close()
+	if werr != nil {
+		return fmt.Errorf("serve: journal: fsync dir: %w", werr)
+	}
+	return nil
+}
+
+// close releases the append handle.
+func (jl *journal) close() {
+	if jl.f != nil {
+		jl.f.Close()
+		jl.f = nil
+	}
+}
+
+// replayedJob is one live (non-terminal) job reconstructed from the WAL.
+type replayedJob struct {
+	key     string
+	spec    *JobSpec
+	started bool // a started record followed the submission (interrupted mid-run)
+}
+
+// replayResult is what a journal replay recovered, plus how the replay
+// ended: Truncated marks a WAL whose tail did not parse — the expected
+// state after a crash mid-append — in which case Live holds the valid
+// prefix's jobs.
+type replayResult struct {
+	Live      []*replayedJob // non-terminal jobs in submission order
+	Records   int            // well-formed records consumed
+	Skipped   int            // records skipped (unknown type, bad shape, unknown key)
+	Truncated bool           // replay stopped at a malformed or torn line
+}
+
+// replayJournal reads the WAL at path and reconstructs the live job set.
+// It never panics on a damaged file: a missing file is an empty journal,
+// an unparsable line ends the replay with the valid prefix, a record of
+// unknown type or impossible shape is skipped. Only real I/O failures
+// return an error.
+func replayJournal(path string) (replayResult, error) {
+	var rr replayResult
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return rr, nil
+	}
+	if err != nil {
+		return rr, fmt.Errorf("serve: journal: %w", err)
+	}
+	defer f.Close()
+
+	live := make(map[string]*replayedJob)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64*1024), maxJournalLine)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// A torn tail from a crash mid-append, or garbage. Everything
+			// before this line is intact — trust exactly that prefix.
+			rr.Truncated = true
+			return rr, nil
+		}
+		rr.Records++
+		switch rec.Type {
+		case recSubmitted:
+			if rec.Spec == nil || rec.Job == "" {
+				rr.Skipped++
+				continue
+			}
+			if _, dup := live[rec.Job]; dup {
+				rr.Skipped++ // duplicate submission of a live job
+				continue
+			}
+			j := &replayedJob{key: rec.Job, spec: rec.Spec}
+			live[rec.Job] = j
+			rr.Live = append(rr.Live, j)
+		case recStarted:
+			if j, ok := live[rec.Job]; ok {
+				j.started = true
+			} else {
+				rr.Skipped++
+			}
+		case recDone, recFailed, recCancelled:
+			if _, ok := live[rec.Job]; !ok {
+				rr.Skipped++
+				continue
+			}
+			delete(live, rec.Job)
+			kept := rr.Live[:0]
+			for _, j := range rr.Live {
+				if j.key != rec.Job {
+					kept = append(kept, j)
+				}
+			}
+			rr.Live = kept
+		default:
+			// A record type from a newer version: skip it, keep replaying.
+			rr.Skipped++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		// An overlong or unreadable tail: keep the prefix, flag it.
+		rr.Truncated = true
+	}
+	return rr, nil
+}

@@ -32,9 +32,13 @@ type serveMetrics struct {
 	jobsDone      *telemetry.Counter
 	jobsFailed    *telemetry.Counter
 	jobsAborted   *telemetry.Counter
-	subscribers   *telemetry.Gauge // live event-stream followers
-	draining      *telemetry.Gauge // 0/1
-	runningJobs   *telemetry.Gauge // 0/1 (dispatch is serial)
+	jobsCancelled *telemetry.Counter // cancel API or deadline expiry
+	recoveredJobs *telemetry.Counter // jobs revived/re-queued by journal replay
+	shedRequests  *telemetry.Counter // submissions shed by admission control
+	journalErrors *telemetry.Counter // WAL append/compaction failures
+	subscribers   *telemetry.Gauge   // live event-stream followers
+	draining      *telemetry.Gauge   // 0/1
+	runningJobs   *telemetry.Gauge   // 0/1 (dispatch is serial)
 
 	clients      map[string]*telemetry.Gauge // per-client queue length, capped
 	otherClients *telemetry.Gauge            // aggregate beyond the cap
@@ -61,6 +65,10 @@ func newServeMetrics(reg *telemetry.Registry, s *Server) *serveMetrics {
 	m.jobsDone = reg.Counter("memnetd_jobs_total", "jobs reaching a terminal state", "state", "done")
 	m.jobsFailed = reg.Counter("memnetd_jobs_total", "jobs reaching a terminal state", "state", "failed")
 	m.jobsAborted = reg.Counter("memnetd_jobs_total", "jobs reaching a terminal state", "state", "aborted")
+	m.jobsCancelled = reg.Counter("memnetd_jobs_total", "jobs reaching a terminal state", "state", "cancelled")
+	m.recoveredJobs = reg.Counter("memnetd_recovered_jobs_total", "jobs revived or re-queued by journal replay after a restart")
+	m.shedRequests = reg.Counter("memnetd_shed_requests_total", "submissions shed by admission control (estimated queue delay too high)")
+	m.journalErrors = reg.Counter("memnetd_journal_errors_total", "job-journal append or compaction failures")
 	m.subscribers = reg.Gauge("memnetd_event_subscribers", "live progress-stream subscribers")
 	m.draining = reg.Gauge("memnetd_draining", "1 while the server is shutting down")
 	m.runningJobs = reg.Gauge("memnetd_running_jobs", "jobs currently executing (0 or 1)")
@@ -102,10 +110,11 @@ func (m *serveMetrics) diskCounters() cachedir.Counters {
 		return cachedir.Counters{}
 	}
 	return cachedir.Counters{
-		Hits:   m.reg.Counter("memnetd_disk_cache_hits_total", "disk cache blobs found"),
-		Misses: m.reg.Counter("memnetd_disk_cache_misses_total", "disk cache lookups that found nothing"),
-		Writes: m.reg.Counter("memnetd_disk_cache_writes_total", "results persisted to the disk cache"),
-		Errors: m.reg.Counter("memnetd_disk_cache_errors_total", "disk cache I/O failures"),
+		Hits:        m.reg.Counter("memnetd_disk_cache_hits_total", "disk cache blobs found"),
+		Misses:      m.reg.Counter("memnetd_disk_cache_misses_total", "disk cache lookups that found nothing"),
+		Writes:      m.reg.Counter("memnetd_disk_cache_writes_total", "results persisted to the disk cache"),
+		Errors:      m.reg.Counter("memnetd_disk_cache_errors_total", "disk cache I/O failures"),
+		Corruptions: m.reg.Counter("memnetd_cache_corruptions_total", "disk cache blobs quarantined after failing content verification"),
 	}
 }
 

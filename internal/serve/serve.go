@@ -26,11 +26,23 @@
 //	GET  /metrics               Prometheus text exposition (with Config.Metrics)
 //	POST /v1/jobs               submit a JobSpec; returns id + state
 //	GET  /v1/jobs/{id}          job status (JSON; live progress rates while running)
+//	DELETE /v1/jobs/{id}        cancel a queued or running job (cooperative)
 //	GET  /v1/jobs/{id}/events   progress stream (JSON lines, replay + live)
 //	GET  /v1/jobs/{id}/result   the result text (404 until done)
 //	GET  /v1/jobs/{id}/profile  per-run latency-attribution profiles (JSON
 //	                            array; 404 unless run with Config.Profile)
 //	POST /v1/run                submit and wait; returns the result text
+//
+// # Crash tolerance
+//
+// With a cache directory configured the server also keeps a durable job
+// journal (<cache-dir>/journal/wal.jsonl): an fsync'd JSON-lines WAL of
+// every job lifecycle transition. A restarted server replays it before
+// accepting traffic — jobs whose results already landed in the disk cache
+// are revived as done, and jobs that were queued or running when the
+// process died (kill -9 included) are re-queued and run again. Cancelled
+// jobs are cooperative: the running sweep polls a stop latch between
+// engine events and unwinds within one watchdog interval.
 //
 // Telemetry is wall-clock and strictly passive: the simulated-time
 // observability in internal/obs pins byte-identical results on/off, and
@@ -60,6 +72,10 @@ import (
 	"memnet/internal/telemetry"
 )
 
+// ewmaDecay weights the run-duration moving average used by admission
+// control: new observations get 1-ewmaDecay.
+const ewmaDecay = 0.7
+
 // Sentinel submission errors; the HTTP layer maps them to status codes.
 var (
 	// ErrQueueFull rejects a submission when the bounded queue is at
@@ -67,7 +83,22 @@ var (
 	ErrQueueFull = errors.New("serve: job queue is full")
 	// ErrDraining rejects submissions during graceful shutdown.
 	ErrDraining = errors.New("serve: server is shutting down")
+	// ErrJobFinished rejects a cancel aimed at a job already done or
+	// failed (HTTP 409: there is nothing left to cancel).
+	ErrJobFinished = errors.New("serve: job already finished")
 )
+
+// OverloadError rejects a submission when admission control estimates the
+// queue delay would exceed Config.MaxQueueDelay (HTTP 503 with the
+// estimate as Retry-After).
+type OverloadError struct {
+	// Estimate is the projected wait before this job would start.
+	Estimate time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("serve: overloaded: estimated queue delay %s exceeds the admission bound", e.Estimate.Round(time.Second))
+}
 
 // Runner executes one canonicalized job and returns its rendered result.
 // The default runs the experiment registry; tests inject stubs.
@@ -95,8 +126,21 @@ type Config struct {
 	// Default 64.
 	QueueCap int
 	// CacheDir, when non-empty, persists results on disk so a restarted
-	// server still dedupes against everything it ever computed.
+	// server still dedupes against everything it ever computed, and (unless
+	// NoJournal) enables the durable job journal and restart recovery.
 	CacheDir string
+	// NoJournal disables the job journal even with CacheDir set: results
+	// still persist, but queued/running jobs do not survive a crash.
+	NoJournal bool
+	// MaxQueueDelay enables admission control: a submission whose
+	// estimated wait (recent mean run duration × jobs ahead of it) exceeds
+	// this bound is shed with an OverloadError instead of queued. Zero
+	// disables shedding; the hard QueueCap still applies.
+	MaxQueueDelay time.Duration
+	// MaxRunTime is the server-wide ceiling on one job's wall-clock run
+	// time; a running job past it is cancelled cooperatively. Zero means
+	// no ceiling. A spec's MaxRunSeconds tightens (never loosens) it.
+	MaxRunTime time.Duration
 	// Runner executes jobs (default RegistryRunner).
 	Runner Runner
 	// Log selects the destination for lifecycle logs when Logger is nil:
@@ -128,7 +172,11 @@ type Stats struct {
 	CacheHitsDisk  int64 `json:"cache_hits_disk"` // subset of CacheHits revived from the disk cache
 	Deduped        int64 `json:"deduped"`         // submissions attached to an identical queued/running job
 	Rejected       int64 `json:"rejected"`        // submissions refused (queue full)
+	Shed           int64 `json:"shed_requests"`   // submissions shed by admission control (estimated delay too high)
 	Failed         int64 `json:"jobs_failed"`
+	Cancelled      int64 `json:"jobs_cancelled"`    // cancel API or deadline expiry
+	Recovered      int64 `json:"recovered_jobs"`    // jobs revived or re-queued by journal replay
+	Corruptions    int64 `json:"cache_corruptions"` // disk-cache blobs quarantined after failing verification
 	Queued         int   `json:"queued"`
 	Running        int   `json:"running"`
 	Draining       bool  `json:"draining"`
@@ -173,6 +221,11 @@ type Server struct {
 	running  *job
 	draining bool
 	stats    Stats
+	// jl is the durable job journal (nil without a cache dir or with
+	// NoJournal); runEWMA is the moving average of run durations in
+	// seconds that admission control projects queue delay from.
+	jl      *journal
+	runEWMA float64
 
 	dispatcherDone chan struct{}
 }
@@ -209,9 +262,135 @@ func New(cfg Config) (*Server, error) {
 		disk.Instrument(s.met.diskCounters())
 		s.disk = disk
 	}
+	if s.disk != nil && !cfg.NoJournal {
+		jl, err := openJournal(filepath.Join(cfg.CacheDir, "journal"))
+		if err != nil {
+			return nil, err
+		}
+		s.jl = jl
+		// Recover before the dispatcher starts: replayed jobs must be in
+		// the queue before anything else can be picked.
+		s.recover()
+	}
 	s.buildMux()
 	go s.dispatch()
 	return s, nil
+}
+
+// recover replays the journal left by a previous process and rebuilds the
+// queue: jobs whose result is already in the disk cache are revived as
+// done, everything else — queued or interrupted mid-run — is re-queued in
+// original submission order. The WAL is then compacted down to the live
+// set. Damage never aborts startup: replay trusts the valid prefix and
+// recovery proceeds with whatever it names.
+func (s *Server) recover() {
+	rr, err := replayJournal(s.jl.path())
+	if err != nil {
+		// An unreadable WAL loses recovery, not service.
+		s.lg.Error("journal replay failed; starting with an empty queue", "err", err)
+		return
+	}
+	if rr.Truncated {
+		s.lg.Warn("journal tail damaged; recovering the valid prefix", "records", rr.Records)
+	}
+	if rr.Skipped > 0 {
+		s.lg.Warn("journal records skipped during replay", "skipped", rr.Skipped)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	revived, requeued := 0, 0
+	for _, rj := range rr.Live {
+		spec := rj.spec
+		if err := spec.Canonicalize(); err != nil {
+			s.lg.Error("recovered spec no longer valid; dropping", "job", rj.key, "err", err)
+			continue
+		}
+		key := spec.Key()
+		if key != rj.key {
+			// The journalled key does not match the spec it carries —
+			// tampering or version skew. The spec is authoritative.
+			s.lg.Warn("recovered job key mismatch; trusting the spec", "journal_key", rj.key, "spec_key", key)
+		}
+		if _, dup := s.jobs[key]; dup {
+			continue
+		}
+		j := newJob(spec, key)
+		j.recovered = true
+		if data, ok, err := s.disk.Get(key); err != nil {
+			s.lg.Error("disk cache read failed during recovery", "job", key, "err", err)
+		} else if ok {
+			// The result outlived the crash; the job is done, just unannounced.
+			j.state = StateDone
+			j.result = string(data)
+			close(j.done)
+			s.jobs[key] = j
+			revived++
+			continue
+		}
+		s.jobs[key] = j
+		client := spec.Client
+		if client == "" {
+			client = "anonymous"
+		}
+		if len(s.queue[client]) == 0 {
+			s.clients = append(s.clients, client)
+		}
+		s.queue[client] = append(s.queue[client], j)
+		s.queuedN++
+		j.publishLocked(fmt.Sprintf(`{"event":"job_recovered","id":%q,"interrupted":%v}`, key, rj.started))
+		requeued++
+	}
+	s.stats.Recovered += int64(revived + requeued)
+	s.met.recoveredJobs.Add(int64(revived + requeued))
+	s.met.queueDepth.Set(int64(s.queuedN))
+	s.met.setClientQueuesLocked(s.queue)
+	if revived+requeued > 0 || rr.Records > 0 {
+		s.lg.Info("journal recovery complete", "revived", revived, "requeued", requeued,
+			"records", rr.Records, "truncated", rr.Truncated)
+	}
+	s.compactLocked()
+}
+
+// journalLocked appends one record to the WAL (no-op without a journal)
+// and compacts once the log has grown past the rewrite threshold. Append
+// failures degrade durability, not service: they are logged and counted,
+// and the server keeps running.
+func (s *Server) journalLocked(rec journalRecord) {
+	if s.jl == nil {
+		return
+	}
+	if err := s.jl.append(rec); err != nil {
+		s.met.journalErrors.Inc()
+		s.lg.Error("journal append failed", "job", rec.Job, "type", rec.Type, "err", err)
+		return
+	}
+	if s.jl.appends >= compactEvery {
+		s.compactLocked()
+	}
+}
+
+// compactLocked rewrites the WAL down to the live jobs: a submitted
+// record per queued job (in round-robin pick order) and submitted+started
+// for the in-flight one.
+func (s *Server) compactLocked() {
+	if s.jl == nil {
+		return
+	}
+	var recs []journalRecord
+	if j := s.running; j != nil {
+		recs = append(recs,
+			journalRecord{Type: recSubmitted, Job: j.key, Spec: j.spec},
+			journalRecord{Type: recStarted, Job: j.key})
+	}
+	for _, c := range s.clients {
+		for _, j := range s.queue[c] {
+			recs = append(recs, journalRecord{Type: recSubmitted, Job: j.key, Spec: j.spec})
+		}
+	}
+	if err := s.jl.rewrite(recs); err != nil {
+		s.met.journalErrors.Inc()
+		s.lg.Error("journal compaction failed", "err", err)
+	}
 }
 
 // Draining reports whether the server has begun shutting down (the
@@ -241,6 +420,9 @@ func (s *Server) Stats() Stats {
 	st.Version = BuildVersion()
 	st.Queued = s.queuedN
 	st.Draining = s.draining
+	if s.disk != nil {
+		st.Corruptions = s.disk.Corruptions()
+	}
 	j := s.running
 	if j != nil {
 		st.Running = 1
@@ -281,7 +463,9 @@ func (s *Server) admit(spec *JobSpec) (*job, bool, error) {
 	key := spec.Key()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if j, ok := s.jobs[key]; ok && j.state != StateAborted {
+	// Aborted and cancelled jobs do not block resubmission: the work was
+	// never finished, so an identical spec starts fresh.
+	if j, ok := s.jobs[key]; ok && j.state != StateAborted && j.state != StateCancelled {
 		switch j.state {
 		case StateDone, StateFailed:
 			// Failed results are cached too: the simulator is
@@ -318,6 +502,23 @@ func (s *Server) admit(spec *JobSpec) (*job, bool, error) {
 		s.met.rejectedFull.Inc()
 		return nil, false, ErrQueueFull
 	}
+	if s.cfg.MaxQueueDelay > 0 && s.runEWMA > 0 {
+		// Shed early when the projected wait — recent mean run duration ×
+		// jobs ahead (queued plus in-flight) — exceeds the bound. Better a
+		// fast 503 with an honest Retry-After than a queue slot the client
+		// will give up on anyway.
+		ahead := s.queuedN
+		if s.running != nil {
+			ahead++
+		}
+		est := time.Duration(s.runEWMA * float64(ahead) * float64(time.Second))
+		if est > s.cfg.MaxQueueDelay {
+			s.stats.Shed++
+			s.met.shedRequests.Inc()
+			s.lg.Info("submission shed", "experiment", spec.Experiment, "estimated_delay", est.Round(time.Second).String())
+			return nil, false, &OverloadError{Estimate: est}
+		}
+	}
 	j := newJob(spec, key)
 	s.jobs[key] = j
 	client := spec.Client
@@ -333,6 +534,7 @@ func (s *Server) admit(spec *JobSpec) (*job, bool, error) {
 	s.met.queuedTotal.Inc()
 	s.met.queueDepth.Set(int64(s.queuedN))
 	s.met.setClientQueuesLocked(s.queue)
+	s.journalLocked(journalRecord{Type: recSubmitted, Job: key, Spec: spec})
 	s.lg.Info("job queued", "job", key, "experiment", spec.Experiment, "client", client, "queued", s.queuedN)
 	s.cond.Signal()
 	return j, false, nil
@@ -360,9 +562,87 @@ func (s *Server) Wait(ctx context.Context, key string) (result string, err error
 		return j.result, nil
 	case StateFailed:
 		return "", fmt.Errorf("serve: job failed: %s", j.errMsg)
+	case StateCancelled:
+		return "", fmt.Errorf("serve: job cancelled: %s", j.errMsg)
 	default: // aborted
 		return "", fmt.Errorf("serve: job aborted at shutdown")
 	}
+}
+
+// Cancel tears a job down. A queued job is removed from the queue and
+// terminal immediately; a running job gets its stop latch tripped and the
+// sweep unwinds cooperatively at the next engine-event boundary (the
+// returned state is "running" — watch the event stream or poll status for
+// the terminal "cancelled"). Cancelling an already-cancelled or aborted
+// job is idempotent; a done or failed job returns ErrJobFinished.
+func (s *Server) Cancel(key, reason string) (state string, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[key]
+	if !ok {
+		return "", fmt.Errorf("serve: unknown job %q", key)
+	}
+	switch j.state {
+	case StateQueued:
+		if !s.removeQueuedLocked(j) {
+			// In the table as queued but not in the queue: accounting bug.
+			return "", fmt.Errorf("serve: job %q queued but not found in queue", key)
+		}
+		j.state = StateCancelled
+		j.errMsg = reason
+		s.stats.Cancelled++
+		s.met.jobsCancelled.Inc()
+		s.met.queueDepth.Set(int64(s.queuedN))
+		s.met.setClientQueuesLocked(s.queue)
+		s.journalLocked(journalRecord{Type: recCancelled, Job: key, Reason: reason})
+		j.publishLocked(terminalLine(j))
+		close(j.done)
+		s.lg.Info("job cancelled", "job", key, "experiment", j.spec.Experiment, "reason", reason, "was", StateQueued)
+		return j.state, nil
+	case StateRunning:
+		// Cooperative: execute observes the latch when the sweep unwinds
+		// and writes the terminal state, journal record and counters there.
+		j.stop.Trip(reason)
+		s.lg.Info("job cancelling", "job", key, "experiment", j.spec.Experiment, "reason", reason)
+		return j.state, nil
+	case StateCancelled, StateAborted:
+		return j.state, nil
+	default: // done, failed
+		return j.state, ErrJobFinished
+	}
+}
+
+// removeQueuedLocked unlinks a queued job from its client's FIFO,
+// maintaining the round-robin cursor. Reports whether the job was found.
+func (s *Server) removeQueuedLocked(target *job) bool {
+	client := target.spec.Client
+	if client == "" {
+		client = "anonymous"
+	}
+	q := s.queue[client]
+	for i, j := range q {
+		if j != target {
+			continue
+		}
+		q = append(q[:i], q[i+1:]...)
+		if len(q) == 0 {
+			delete(s.queue, client)
+			for ci, c := range s.clients {
+				if c == client {
+					s.clients = append(s.clients[:ci], s.clients[ci+1:]...)
+					if ci < s.nextCli {
+						s.nextCli--
+					}
+					break
+				}
+			}
+		} else {
+			s.queue[client] = q
+		}
+		s.queuedN--
+		return true
+	}
+	return false
 }
 
 // dispatch is the single executor loop: it picks one queued job at a time
@@ -389,6 +669,7 @@ func (s *Server) dispatch() {
 		s.met.setClientQueuesLocked(s.queue)
 		s.met.queueWait.Observe(time.Since(j.queuedAt).Seconds())
 		s.met.runningJobs.Set(1)
+		s.journalLocked(journalRecord{Type: recStarted, Job: j.key})
 		j.publishLocked(fmt.Sprintf(`{"event":"job_running","id":%q}`, j.key))
 		s.mu.Unlock()
 
@@ -422,13 +703,34 @@ func (s *Server) pickLocked() *job {
 	return j
 }
 
-// execute runs one job through the Runner with the job's progress sink
-// and fault schedule installed as the process-wide defaults (safe because
-// jobs run strictly one at a time), then publishes the terminal state.
+// deadlineFor returns the job's effective run-time ceiling: the tighter
+// of the spec's MaxRunSeconds and the server-wide MaxRunTime (zero: none).
+func (s *Server) deadlineFor(spec *JobSpec) time.Duration {
+	d := s.cfg.MaxRunTime
+	if spec.MaxRunSeconds > 0 {
+		jd := time.Duration(spec.MaxRunSeconds * float64(time.Second))
+		if d == 0 || jd < d {
+			d = jd
+		}
+	}
+	return d
+}
+
+// execute runs one job through the Runner with the job's progress sink,
+// stop latch and fault schedule installed as the process-wide defaults
+// (safe because jobs run strictly one at a time), then publishes the
+// terminal state.
 func (s *Server) execute(j *job) {
 	core.SetProgressDefault(func(ev obs.ProgressEvent) { s.publishProgress(j, ev) })
+	core.SetStopDefault(j.stop)
 	if j.spec.Faults != nil {
 		core.SetFaultDefault(j.spec.Faults)
+	}
+	var deadlineTimer *time.Timer
+	if d := s.deadlineFor(j.spec); d > 0 {
+		deadlineTimer = time.AfterFunc(d, func() {
+			j.stop.Trip(fmt.Sprintf("deadline exceeded after %s", d))
+		})
 	}
 	var profDir string
 	if s.cfg.Profile {
@@ -444,7 +746,11 @@ func (s *Server) execute(j *job) {
 	start := time.Now()
 	out, err := s.cfg.Runner(j.spec)
 	elapsed := time.Since(start)
+	if deadlineTimer != nil {
+		deadlineTimer.Stop()
+	}
 	core.SetFaultDefault(nil)
+	core.SetStopDefault(nil)
 	core.SetProgressDefault(nil)
 	var profiles []json.RawMessage
 	if profDir != "" {
@@ -457,11 +763,27 @@ func (s *Server) execute(j *job) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.stats.SimulationsRun++
-	if err != nil {
+	if s.runEWMA == 0 {
+		s.runEWMA = elapsed.Seconds()
+	} else {
+		s.runEWMA = ewmaDecay*s.runEWMA + (1-ewmaDecay)*elapsed.Seconds()
+	}
+	if err != nil && j.stop.Tripped() {
+		// The sweep unwound because the latch tripped (cancel API or
+		// deadline), not because the simulation failed.
+		j.state = StateCancelled
+		j.errMsg = j.stop.Reason()
+		s.stats.Cancelled++
+		s.met.jobsCancelled.Inc()
+		s.journalLocked(journalRecord{Type: recCancelled, Job: j.key, Reason: j.errMsg})
+		s.lg.Info("job cancelled", "job", j.key, "experiment", j.spec.Experiment,
+			"wall_seconds", elapsed.Seconds(), "reason", j.errMsg, "was", StateRunning)
+	} else if err != nil {
 		j.state = StateFailed
 		j.errMsg = err.Error()
 		s.stats.Failed++
 		s.met.jobsFailed.Inc()
+		s.journalLocked(journalRecord{Type: recFailed, Job: j.key})
 		s.lg.Error("job failed", "job", j.key, "experiment", j.spec.Experiment,
 			"wall_seconds", elapsed.Seconds(), "err", err)
 	} else {
@@ -478,6 +800,9 @@ func (s *Server) execute(j *job) {
 				s.lg.Error("disk cache write failed", "job", j.key, "err", derr)
 			}
 		}
+		// Journal done only after the result is durably cached: a crash
+		// between the two re-runs the job instead of losing the result.
+		s.journalLocked(journalRecord{Type: recDone, Job: j.key})
 	}
 	j.publishLocked(terminalLine(j))
 	close(j.done)
@@ -524,14 +849,17 @@ func (s *Server) publishProgress(j *job, ev obs.ProgressEvent) {
 
 // terminalLine renders the final JSON line of a job's event stream.
 func terminalLine(j *job) string {
-	if j.state == StateFailed {
+	if j.state == StateFailed || j.state == StateCancelled {
 		return fmt.Sprintf(`{"event":"job_done","id":%q,"state":%q,"error":%q}`, j.key, j.state, j.errMsg)
 	}
 	return fmt.Sprintf(`{"event":"job_done","id":%q,"state":%q}`, j.key, j.state)
 }
 
 // abortQueuedLocked fails every still-queued job with the aborted state
-// (their waiters unblock with a shutdown error).
+// (their waiters unblock with a shutdown error). Deliberately not
+// journalled as terminal: an abort only means this process is going away,
+// so the jobs' submitted records stay in the WAL and the next start
+// re-queues them — a graceful drain loses no accepted work.
 func (s *Server) abortQueuedLocked() {
 	for _, c := range s.clients {
 		for _, j := range s.queue[c] {
@@ -568,6 +896,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.lg.Info("draining", "queued", s.Stats().Queued)
 	select {
 	case <-s.dispatcherDone:
+		s.mu.Lock()
+		if s.jl != nil {
+			s.jl.close()
+			s.jl = nil
+		}
+		s.mu.Unlock()
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()

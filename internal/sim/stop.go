@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Stop is a cooperative stop signal for a running simulation: a one-shot
+// latch tripped from outside the engine (a cancel API, a deadline timer, a
+// signal handler) and polled by the phase loop between events. Tripping is
+// asynchronous — which event the run halts after depends on wall-clock
+// timing — but the teardown itself is deterministic: the engine finishes
+// the current event, the phase runner observes the latch and unwinds with
+// an error, and no further events execute.
+//
+// Stop follows the house passivity contract shared with the obs and prof
+// layers: a nil *Stop is valid everywhere (every method no-ops or returns
+// the zero answer), an attached-but-never-tripped Stop changes nothing —
+// the poll is a single atomic load, schedules no events and allocates
+// nothing — so results are byte-identical with or without one installed.
+type Stop struct {
+	tripped atomic.Bool
+
+	mu     sync.Mutex
+	reason string
+}
+
+// Trip latches the stop with the given reason and reports whether this
+// call was the first; later calls keep the original reason. Safe for
+// concurrent use from any goroutine.
+func (s *Stop) Trip(reason string) bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tripped.Load() {
+		return false
+	}
+	s.reason = reason
+	s.tripped.Store(true)
+	return true
+}
+
+// Tripped reports whether the stop has been tripped. Nil-safe: polling a
+// nil Stop costs one comparison and always answers false, which is what
+// lets call sites skip the "is a canceller attached" branch entirely.
+func (s *Stop) Tripped() bool {
+	return s != nil && s.tripped.Load()
+}
+
+// Reason returns the reason of the first Trip, or "" if not tripped.
+func (s *Stop) Reason() string {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reason
+}

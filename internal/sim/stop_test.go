@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestStopNilIsInert(t *testing.T) {
+	var s *Stop
+	if s.Tripped() {
+		t.Fatal("nil Stop reports tripped")
+	}
+	if s.Trip("x") {
+		t.Fatal("nil Stop accepted a trip")
+	}
+	if s.Reason() != "" {
+		t.Fatalf("nil Stop has reason %q", s.Reason())
+	}
+}
+
+func TestStopFirstTripWins(t *testing.T) {
+	s := &Stop{}
+	if s.Tripped() {
+		t.Fatal("fresh Stop is tripped")
+	}
+	if !s.Trip("deadline") {
+		t.Fatal("first Trip not reported as first")
+	}
+	if s.Trip("cancel") {
+		t.Fatal("second Trip reported as first")
+	}
+	if !s.Tripped() {
+		t.Fatal("Stop not tripped after Trip")
+	}
+	if got := s.Reason(); got != "deadline" {
+		t.Fatalf("reason = %q, want the first trip's", got)
+	}
+}
+
+func TestStopConcurrentTrip(t *testing.T) {
+	s := &Stop{}
+	const n = 32
+	firsts := make(chan bool, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			firsts <- s.Trip("race")
+		}()
+	}
+	wg.Wait()
+	close(firsts)
+	won := 0
+	for f := range firsts {
+		if f {
+			won++
+		}
+	}
+	if won != 1 {
+		t.Fatalf("%d trips claimed to be first, want exactly 1", won)
+	}
+}
+
+// BenchmarkStopPollNil pins the cost of the disabled path: polling with no
+// Stop attached must be a nil comparison — zero allocations.
+func BenchmarkStopPollNil(b *testing.B) {
+	var s *Stop
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if s.Tripped() {
+			b.Fatal("tripped")
+		}
+	}
+}
